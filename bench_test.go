@@ -1,0 +1,618 @@
+package prima
+
+// The benchmark harness regenerates every quantitative artifact of
+// the paper plus the synthetic evaluation DESIGN.md derives from the
+// architecture. One benchmark per experiment row (E1–E9); see
+// EXPERIMENTS.md for the recorded paper-vs-measured outcomes.
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/minidb"
+	"repro/internal/mining"
+	"repro/internal/policy"
+	"repro/internal/scenario"
+	"repro/internal/vocab"
+	"repro/internal/workflow"
+)
+
+// ---- E1: vocabulary range expansion (Fig. 1 / Definitions 3, 8) ----
+
+// syntheticVocab builds a data hierarchy with the given branching and
+// depth (leaves = branch^depth).
+func syntheticVocab(branch, depth int) *vocab.Vocabulary {
+	v := vocab.New()
+	h := v.MustAttribute("data")
+	h.MustAdd("", "root")
+	frontier := []string{"root"}
+	id := 0
+	for d := 0; d < depth; d++ {
+		var next []string
+		for _, p := range frontier {
+			for b := 0; b < branch; b++ {
+				id++
+				name := fmt.Sprintf("n%d", id)
+				h.MustAdd(p, name)
+				next = append(next, name)
+			}
+		}
+		frontier = next
+	}
+	v.MustAttribute("purpose").MustAdd("", "treatment")
+	v.MustAttribute("authorized").MustAdd("", "nurse")
+	return v
+}
+
+func BenchmarkE1_RangeExpansion(b *testing.B) {
+	for _, cfg := range []struct{ branch, depth int }{
+		{2, 4}, {4, 4}, {4, 6}, {8, 4},
+	} {
+		v := syntheticVocab(cfg.branch, cfg.depth)
+		p := policy.FromRules("PS", policy.MustRule(
+			policy.T("data", "root"),
+			policy.T("purpose", "treatment"),
+			policy.T("authorized", "nurse"),
+		))
+		name := fmt.Sprintf("branch=%d/depth=%d", cfg.branch, cfg.depth)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rg, err := policy.NewRange(p, v, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rg.Len() == 0 {
+					b.Fatal("empty range")
+				}
+			}
+		})
+	}
+}
+
+// ---- E2: Figure 3 coverage (50 %) ----
+
+func BenchmarkE2_Figure3Coverage(b *testing.B) {
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	al := scenario.Figure3AuditPolicy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := core.ComputeCoverage(ps, al, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c != 0.5 {
+			b.Fatalf("coverage = %v, want 0.5 (paper Figure 3)", c)
+		}
+	}
+}
+
+// ---- E3: Table 1 refinement (30 % -> pattern -> 80 %) ----
+
+func BenchmarkE3_Table1Refinement(b *testing.B) {
+	v := scenario.Vocabulary()
+	entries := scenario.Table1()
+	for _, ex := range []struct {
+		name string
+		x    core.PatternExtractor
+	}{
+		{"sql", core.SQLExtractor{}},
+		{"native", core.NativeExtractor{}},
+		{"apriori", mining.Extractor{}},
+	} {
+		b.Run(ex.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ps := scenario.PolicyStore()
+				pats, err := core.Refinement(ps, entries, v, core.Options{Extractor: ex.x})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pats) != 1 || pats[0].Support != 5 {
+					b.Fatalf("patterns = %v, want the §5 result", pats)
+				}
+			}
+		})
+	}
+}
+
+// ---- E4: coverage vs refinement epochs (quantified Figure 2) ----
+
+func BenchmarkE4_RefinementEpochs(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := workflow.DefaultHospital(42)
+		sim, err := workflow.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := core.NewSession(cfg.Policy, cfg.Vocab, core.Options{})
+		var first, last float64
+		for epoch := 0; epoch < 4; epoch++ {
+			entries, err := sim.Run(epoch*10, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			round, err := sess.Run(entries, core.AdoptAll)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if epoch == 0 {
+				first = round.CoverageBefore
+			}
+			last = round.CoverageBefore
+		}
+		if last <= first {
+			b.Fatalf("coverage did not rise: %v -> %v", first, last)
+		}
+	}
+}
+
+// ---- E5: threshold sensitivity (precision/recall vs f) ----
+
+func BenchmarkE5_ThresholdSweep(b *testing.B) {
+	cfg := workflow.DefaultHospital(42)
+	sim, err := workflow.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries, err := sim.Run(0, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	informal, violations := sim.GroundTruth()
+	// Informal supports over 30 days cluster around 120–240
+	// (rates 4–8/day), so the sweep spans well below and above.
+	for _, f := range []int{2, 5, 20, 200, 500} {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pats, err := core.Refinement(cfg.Policy, entries, cfg.Vocab,
+					core.Options{MinSupport: f, Extractor: core.NativeExtractor{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var found []policy.Rule
+				for _, p := range pats {
+					found = append(found, p.Rule)
+				}
+				sc := workflow.Evaluate(found, informal, violations)
+				// Shape check: recall falls as f rises past the
+				// monthly support of the practices (120–240 here).
+				if f <= 5 && sc.Recall < 1 {
+					b.Fatalf("f=%d: recall %v", f, sc.Recall)
+				}
+				if f == 200 && sc.Recall >= 1 {
+					b.Fatalf("f=%d: recall did not degrade (%v)", f, sc.Recall)
+				}
+				if f >= 500 && sc.Recall > 0 {
+					b.Fatalf("f=%d: recall unexpectedly high (%v)", f, sc.Recall)
+				}
+			}
+		})
+	}
+}
+
+// ---- E6: Apriori vs plain SQL extraction (§5 proposal) ----
+
+func e6Entries() []audit.Entry {
+	// A (data, role) correlation smeared over many purposes: below
+	// the per-tuple threshold, above the pair threshold.
+	base := time.Date(2007, 4, 1, 8, 0, 0, 0, time.UTC)
+	purposes := []string{"treatment", "registration", "billing", "research"}
+	users := []string{"a", "b", "c"}
+	var out []audit.Entry
+	for i := 0; i < 12; i++ {
+		out = append(out, audit.Entry{
+			Time: base.Add(time.Duration(i) * time.Minute), Op: audit.Allow,
+			User: users[i%len(users)], Data: "lab_result",
+			Purpose: purposes[i%len(purposes)], Authorized: "lab_tech",
+			Status: audit.Exception,
+		})
+	}
+	return out
+}
+
+func BenchmarkE6_AprioriVsSQL(b *testing.B) {
+	entries := e6Entries()
+	b.Run("sql-misses", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pats, err := core.ExtractPatterns(entries, core.Options{MinSupport: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pats) != 0 {
+				b.Fatalf("exact SQL should miss the smeared pattern: %v", pats)
+			}
+		}
+	})
+	b.Run("apriori-finds", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			corrs, err := mining.Correlations(entries, nil, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			found := false
+			for _, c := range corrs {
+				if c.Items.Key() == "authorized=lab_tech&data=lab_result" {
+					found = true
+				}
+			}
+			if !found {
+				b.Fatal("Apriori missed the pair correlation")
+			}
+		}
+	})
+}
+
+// ---- E7: coverage scaling (Algorithm 1 cost) ----
+
+func BenchmarkE7_CoverageScaling(b *testing.B) {
+	v := scenario.Vocabulary()
+	dataVals := v.Hierarchy("data").Leaves()
+	purposeVals := v.Hierarchy("purpose").Leaves()
+	roleVals := v.Hierarchy("authorized").Leaves()
+	mkPolicy := func(name string, n int) *policy.Policy {
+		p := policy.New(name)
+		for i := 0; i < n; i++ {
+			p.Add(policy.MustRule(
+				policy.T("data", dataVals[i%len(dataVals)]),
+				policy.T("purpose", purposeVals[(i/len(dataVals))%len(purposeVals)]),
+				policy.T("authorized", roleVals[(i/7)%len(roleVals)]),
+			))
+		}
+		return p
+	}
+	for _, n := range []int{10, 100, 1000, 10000} {
+		// Rules deduplicate over a finite vocabulary; scale by rows
+		// instead: the audit side is a log snapshot converted to
+		// rules, so benchmark EntryCoverage over n rows.
+		entries := make([]audit.Entry, n)
+		base := time.Date(2007, 3, 1, 0, 0, 0, 0, time.UTC)
+		for i := range entries {
+			entries[i] = audit.Entry{
+				Time: base.Add(time.Duration(i) * time.Second), Op: audit.Allow,
+				User: fmt.Sprintf("u%d", i%97),
+				Data: dataVals[i%len(dataVals)], Purpose: purposeVals[i%len(purposeVals)],
+				Authorized: roleVals[i%len(roleVals)], Status: audit.Exception,
+			}
+		}
+		ps := mkPolicy("PS", 50)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EntryCoverage(ps, entries, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E8: Active Enforcement overhead (Fig. 5 "minimal impact") ----
+
+func benchSystem(b *testing.B) *System {
+	b.Helper()
+	sys := New(Config{Policy: scenario.PolicyStore()})
+	sys.DB().MustExec(`CREATE TABLE records (patient TEXT, referral TEXT, psychiatry TEXT)`)
+	for i := 0; i < 64; i++ {
+		sys.DB().MustExec(fmt.Sprintf(
+			`INSERT INTO records VALUES ('p%d', 'consult %d', 'note %d')`, i, i, i))
+	}
+	if err := sys.RegisterTable(TableMapping{
+		Table: "records", PatientCol: "patient",
+		Categories: map[string]string{"referral": "referral", "psychiatry": "psychiatry"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkE8_EnforcementOverhead(b *testing.B) {
+	const sql = `SELECT patient, referral FROM records WHERE patient <> 'p0'`
+	b.Run("raw", func(b *testing.B) {
+		sys := benchSystem(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.DB().Exec(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enforced", func(b *testing.B) {
+		sys := benchSystem(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.Query("tim", "nurse", "treatment", sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enforced+consent", func(b *testing.B) {
+		sys := benchSystem(b)
+		if err := sys.SetConsent("p1", "clinical", "", OptOut, time.Now()); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.Query("tim", "nurse", "treatment", sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("breakglass", func(b *testing.B) {
+		sys := benchSystem(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.BreakGlass("tim", "nurse", "registration", "bench", sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E9: audit federation throughput ----
+
+func BenchmarkE9_Federation(b *testing.B) {
+	const total = 4096
+	base := time.Date(2007, 3, 1, 0, 0, 0, 0, time.UTC)
+	for _, sites := range []int{1, 4, 16} {
+		logs := make([]*audit.Log, sites)
+		for s := range logs {
+			logs[s] = audit.NewLog(fmt.Sprintf("site-%d", s))
+		}
+		for i := 0; i < total; i++ {
+			e := audit.Entry{
+				Time: base.Add(time.Duration(i) * time.Second), Op: audit.Allow,
+				User: fmt.Sprintf("u%d", i%31), Data: "referral",
+				Purpose: "registration", Authorized: "nurse", Status: audit.Exception,
+			}
+			if err := logs[i%sites].Append(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fed := audit.NewFederation(logs...)
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := fed.Consolidate()
+				if len(res.Entries) != total {
+					b.Fatalf("consolidated %d, want %d", len(res.Entries), total)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablations: design choices called out in DESIGN.md ----
+
+// BenchmarkA1_IndexAblation measures the minidb equality-index fast
+// path against a full scan at several table sizes.
+func BenchmarkA1_IndexAblation(b *testing.B) {
+	for _, rows := range []int{1000, 10000} {
+		for _, indexed := range []bool{false, true} {
+			db := minidb.NewDatabase()
+			db.MustExec(`CREATE TABLE t (id INT, usr TEXT, n INT)`)
+			for i := 0; i < rows; i++ {
+				db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'u%d', %d)`, i, i%97, i))
+			}
+			if indexed {
+				db.MustExec(`CREATE INDEX usr_ix ON t (usr)`)
+				db.MustExec(`SELECT id FROM t WHERE usr = 'u13'`) // build once
+			}
+			name := fmt.Sprintf("rows=%d/indexed=%v", rows, indexed)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := db.Exec(`SELECT id FROM t WHERE usr = 'u13'`)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Rows) == 0 {
+						b.Fatal("no rows")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkA2_PolicyRangeCache measures the enforcer's policy-range
+// cache: a stable policy hits the cache, while mutating the policy
+// between queries forces recomputation every time.
+func BenchmarkA2_PolicyRangeCache(b *testing.B) {
+	const sql = `SELECT referral FROM records`
+	b.Run("cache-hit", func(b *testing.B) {
+		sys := benchSystem(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.Query("tim", "nurse", "treatment", sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache-miss", func(b *testing.B) {
+		sys := benchSystem(b)
+		flip := policy.MustRule(
+			policy.T("data", "payment_history"),
+			policy.T("purpose", "billing"),
+			policy.T("authorized", "manager"),
+		)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				sys.PolicyStore().Add(flip)
+			} else {
+				sys.PolicyStore().Remove(flip)
+			}
+			if _, _, err := sys.Query("tim", "nurse", "treatment", sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkA3_Generalization measures the policy-compression pass and
+// the downstream effect of a smaller store: coverage computation over
+// the generalized policy versus the raw adopted-leaf policy.
+func BenchmarkA3_Generalization(b *testing.B) {
+	v := scenario.Vocabulary()
+	// A store that adopted every ground rule one by one.
+	leaves := policy.New("PS")
+	for _, d := range v.Hierarchy("data").Leaves() {
+		for _, p := range v.Hierarchy("purpose").Leaves() {
+			for _, a := range v.Hierarchy("authorized").Leaves() {
+				leaves.Add(policy.MustRule(
+					policy.T("data", d), policy.T("purpose", p), policy.T("authorized", a)))
+			}
+		}
+	}
+	res, err := core.Generalize(leaves, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.RulesAfter >= res.RulesBefore {
+		b.Fatalf("generalization had no effect: %+v", res)
+	}
+	al := scenario.Figure3AuditPolicy()
+	b.Run("pass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Generalize(leaves, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("coverage/raw-leaves", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ComputeCoverage(leaves, al, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("coverage/generalized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ComputeCoverage(res.Policy, al, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E10: organization scale (multi-department refinement) ----
+
+func BenchmarkE10_OrganizationScale(b *testing.B) {
+	for _, depts := range []int{1, 4, 16} {
+		cfg := workflow.LargeHospital(42, depts)
+		sim, err := workflow.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries, err := sim.Run(0, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		informal, violations := sim.GroundTruth()
+		b.Run(fmt.Sprintf("departments=%d", depts), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pats, err := core.Refinement(cfg.Policy, entries, cfg.Vocab,
+					core.Options{Extractor: core.NativeExtractor{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var found []policy.Rule
+				for _, p := range pats {
+					found = append(found, p.Rule)
+				}
+				sc := workflow.Evaluate(found, informal, violations)
+				if sc.Recall != 1 {
+					b.Fatalf("departments=%d: recall %v", depts, sc.Recall)
+				}
+				// The documented scale caveat: with >1 department the
+				// correlated single-user violations aggregate into a
+				// false positive (see EXPERIMENTS.md).
+				if depts == 1 && sc.FalsePositives != 0 {
+					b.Fatalf("departments=1: false positives %d", sc.FalsePositives)
+				}
+			}
+		})
+	}
+}
+
+// ---- E11: suspicion-guided review vs naive adoption ----
+
+// e11Entries builds a log where the distinct-user condition alone is
+// fooled: two colluding users browse psychiatry at night, alongside a
+// genuine multi-user daytime practice.
+func e11Entries() []audit.Entry {
+	base := time.Date(2007, 3, 5, 0, 0, 0, 0, time.UTC)
+	var out []audit.Entry
+	for i := 0; i < 12; i++ {
+		out = append(out, audit.Entry{
+			Time: base.Add(time.Duration(i)*24*time.Hour + 10*time.Hour),
+			Op:   audit.Allow, User: []string{"a", "b", "c", "d"}[i%4],
+			Data: "referral", Purpose: "registration", Authorized: "nurse",
+			Status: audit.Exception,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		out = append(out, audit.Entry{
+			Time: base.Add(time.Duration(i)*24*time.Hour + 23*time.Hour),
+			Op:   audit.Allow, User: []string{"eve", "mallory"}[i%2],
+			Data: "psychiatry", Purpose: "research", Authorized: "clerk",
+			Status: audit.Exception,
+		})
+	}
+	return out
+}
+
+func BenchmarkE11_SuspicionReview(b *testing.B) {
+	v := scenario.Vocabulary()
+	entries := e11Entries()
+	informal := []policy.Rule{policy.MustRule(
+		policy.T("data", "referral"), policy.T("purpose", "registration"), policy.T("authorized", "nurse"))}
+	violations := []policy.Rule{policy.MustRule(
+		policy.T("data", "psychiatry"), policy.T("purpose", "research"), policy.T("authorized", "clerk"))}
+	run := func(b *testing.B, reviewer core.Reviewer, wantPrecision float64) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess := core.NewSession(scenario.PolicyStore(), v, core.Options{})
+			round, err := sess.Run(entries, reviewer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc := workflow.Evaluate(round.Adopted, informal, violations)
+			if sc.Recall != 1 {
+				b.Fatalf("recall = %v", sc.Recall)
+			}
+			if sc.Precision != wantPrecision {
+				b.Fatalf("precision = %v, want %v", sc.Precision, wantPrecision)
+			}
+		}
+	}
+	b.Run("naive-adopt-all", func(b *testing.B) {
+		// The colluding night-time violation passes COUNT(DISTINCT
+		// user) > 1 and is wrongly adopted: precision 0.5.
+		run(b, core.AdoptAll, 0.5)
+	})
+	b.Run("suspicion-reviewer", func(b *testing.B) {
+		run(b, core.SuspicionReviewer(core.Filter(entries), 0.5, 0.9), 1.0)
+	})
+}

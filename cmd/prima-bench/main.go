@@ -1,0 +1,301 @@
+// Command prima-bench regenerates every quantitative artifact of the
+// paper and prints a paper-vs-measured table (the data behind
+// EXPERIMENTS.md). Exact worked examples (E2, E3) are verified — the
+// command exits non-zero if any paper number fails to reproduce —
+// while the synthetic experiments (E4, E5, E11) report their measured
+// series.
+//
+// Usage:
+//
+//	prima-bench [-seed 42] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/mining"
+	"repro/internal/policy"
+	"repro/internal/scenario"
+	"repro/internal/workflow"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prima-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prima-bench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "simulation seed")
+	quick := fs.Bool("quick", false, "shrink the synthetic experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	epochs, days := 6, 15
+	if *quick {
+		epochs, days = 3, 8
+	}
+
+	fmt.Println("# PRIMA experiment harness — paper vs measured")
+	fmt.Println()
+	if err := runE2(); err != nil {
+		return err
+	}
+	if err := runE3(); err != nil {
+		return err
+	}
+	if err := runE4(*seed, epochs, days); err != nil {
+		return err
+	}
+	if err := runE5(*seed, days*2); err != nil {
+		return err
+	}
+	if err := runE6(); err != nil {
+		return err
+	}
+	if err := runE11(); err != nil {
+		return err
+	}
+	fmt.Println("all paper artifacts reproduced")
+	return nil
+}
+
+func check(name string, got, want float64) error {
+	status := "OK"
+	if got != want {
+		status = "MISMATCH"
+	}
+	fmt.Printf("| %s | %.2f | %.2f | %s |\n", name, want, got, status)
+	if got != want {
+		return fmt.Errorf("%s: measured %v, paper %v", name, got, want)
+	}
+	return nil
+}
+
+func runE2() error {
+	fmt.Println("## E2 — Figure 3 coverage (§3.3)")
+	fmt.Println()
+	fmt.Println("| quantity | paper | measured | status |")
+	fmt.Println("|---|---|---|---|")
+	v := scenario.Vocabulary()
+	c, err := core.ComputeCoverage(scenario.PolicyStore(), scenario.Figure3AuditPolicy(), v)
+	if err != nil {
+		return err
+	}
+	if err := check("ComputeCoverage(P_PS, P_AL, V)", c, scenario.Figure3Coverage); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runE3() error {
+	fmt.Println("## E3 — Table 1 / §5 walk-through")
+	fmt.Println()
+	fmt.Println("| quantity | paper | measured | status |")
+	fmt.Println("|---|---|---|---|")
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	entries := scenario.Table1()
+
+	before, err := core.EntryCoverage(ps, entries, v)
+	if err != nil {
+		return err
+	}
+	if err := check("coverage over snapshot", before.Coverage, scenario.Table1Coverage); err != nil {
+		return err
+	}
+	practice := core.Filter(entries)
+	if err := check("Practice rows after Filter", float64(len(practice)), scenario.Table1PracticeSize); err != nil {
+		return err
+	}
+	patterns, err := core.Refinement(ps, entries, v, core.Options{})
+	if err != nil {
+		return err
+	}
+	if len(patterns) != 1 || patterns[0].Rule.Key() != scenario.RefinementPattern().Key() {
+		return fmt.Errorf("E3: pattern mismatch: %v", patterns)
+	}
+	if err := check("pattern support", float64(patterns[0].Support), scenario.RefinementSupport); err != nil {
+		return err
+	}
+	if err := check("pattern distinct users", float64(patterns[0].DistinctUsers), scenario.RefinementDistinctUsers); err != nil {
+		return err
+	}
+	ps.Add(patterns[0].Rule)
+	after, err := core.EntryCoverage(ps, entries, v)
+	if err != nil {
+		return err
+	}
+	if err := check("coverage after adoption", after.Coverage, scenario.Table1PostAdoptionCoverage); err != nil {
+		return err
+	}
+	fmt.Printf("\npattern: %s\n\n", patterns[0].Rule.Compact())
+	return nil
+}
+
+func runE4(seed int64, epochs, days int) error {
+	fmt.Printf("## E4 — coverage vs refinement epochs (%d × %d days, seed %d)\n\n", epochs, days, seed)
+	cfg := workflow.DefaultHospital(seed)
+	sim, err := workflow.New(cfg)
+	if err != nil {
+		return err
+	}
+	sess := core.NewSession(cfg.Policy, cfg.Vocab, core.Options{})
+	fmt.Println("| epoch | entries | exceptions | coverage | adopted |")
+	fmt.Println("|---|---|---|---|---|")
+	var first, last float64
+	for epoch := 0; epoch < epochs; epoch++ {
+		entries, err := sim.Run(epoch*days, days)
+		if err != nil {
+			return err
+		}
+		round, err := sess.Run(entries, core.AdoptAll)
+		if err != nil {
+			return err
+		}
+		st := audit.Summarize(entries)
+		fmt.Printf("| %d | %d | %d | %.1f%% | %d |\n",
+			epoch+1, st.Total, st.Exceptions, round.CoverageBefore*100, len(round.Adopted))
+		if epoch == 0 {
+			first = round.CoverageBefore
+		}
+		last = round.CoverageBefore
+	}
+	if last <= first {
+		return fmt.Errorf("E4: coverage did not rise (%v -> %v)", first, last)
+	}
+	informal, violations := sim.GroundTruth()
+	var adopted []policy.Rule
+	for _, r := range sess.History {
+		adopted = append(adopted, r.Adopted...)
+	}
+	sc := workflow.Evaluate(adopted, informal, violations)
+	fmt.Printf("\nextraction precision %.2f, recall %.2f (shape: rises then plateaus below 100%%) \n\n", sc.Precision, sc.Recall)
+	if sc.Precision != 1 || sc.Recall != 1 {
+		return fmt.Errorf("E4: extraction quality %v/%v", sc.Precision, sc.Recall)
+	}
+	return nil
+}
+
+func runE5(seed int64, days int) error {
+	fmt.Printf("## E5 — threshold sensitivity (%d days, seed %d)\n\n", days, seed)
+	cfg := workflow.DefaultHospital(seed)
+	sim, err := workflow.New(cfg)
+	if err != nil {
+		return err
+	}
+	entries, err := sim.Run(0, days)
+	if err != nil {
+		return err
+	}
+	informal, violations := sim.GroundTruth()
+	fmt.Println("| f | min users | precision | recall |")
+	fmt.Println("|---|---|---|---|")
+	for _, f := range []int{5, 50, 200, 500} {
+		for _, u := range []int{1, 2} {
+			pats, err := core.Refinement(cfg.Policy, entries, cfg.Vocab, core.Options{
+				MinSupport: f, MinDistinctUsers: u, Extractor: core.NativeExtractor{},
+			})
+			if err != nil {
+				return err
+			}
+			var found []policy.Rule
+			for _, p := range pats {
+				found = append(found, p.Rule)
+			}
+			sc := workflow.Evaluate(found, informal, violations)
+			fmt.Printf("| %d | %d | %.2f | %.2f |\n", f, u, sc.Precision, sc.Recall)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func runE6() error {
+	fmt.Println("## E6 — Apriori vs plain SQL (§5 proposal)")
+	fmt.Println()
+	base := time.Date(2007, 4, 1, 8, 0, 0, 0, time.UTC)
+	purposes := []string{"treatment", "registration", "billing", "research"}
+	users := []string{"a", "b", "c"}
+	var entries []audit.Entry
+	for i := 0; i < 12; i++ {
+		entries = append(entries, audit.Entry{
+			Time: base.Add(time.Duration(i) * time.Minute), Op: audit.Allow,
+			User: users[i%len(users)], Data: "lab_result",
+			Purpose: purposes[i%len(purposes)], Authorized: "lab_tech",
+			Status: audit.Exception,
+		})
+	}
+	sqlPats, err := core.ExtractPatterns(entries, core.Options{MinSupport: 5})
+	if err != nil {
+		return err
+	}
+	corrs, err := mining.Correlations(entries, nil, 5)
+	if err != nil {
+		return err
+	}
+	pairFound := false
+	for _, c := range corrs {
+		if c.Items.Key() == "authorized=lab_tech&data=lab_result" {
+			pairFound = true
+		}
+	}
+	fmt.Printf("SQL exact-tuple patterns at f=5: %d (paper: misses the smeared correlation)\n", len(sqlPats))
+	fmt.Printf("Apriori pair correlations at support 5: found=%v (paper: proposed to detect them)\n\n", pairFound)
+	if len(sqlPats) != 0 || !pairFound {
+		return fmt.Errorf("E6: shape mismatch")
+	}
+	return nil
+}
+
+func runE11() error {
+	fmt.Println("## E11 — suspicion-guided review (beyond §4.2)")
+	fmt.Println()
+	base := time.Date(2007, 3, 5, 0, 0, 0, 0, time.UTC)
+	var entries []audit.Entry
+	for i := 0; i < 12; i++ {
+		entries = append(entries, audit.Entry{
+			Time: base.Add(time.Duration(i)*24*time.Hour + 10*time.Hour), Op: audit.Allow,
+			User: []string{"a", "b", "c", "d"}[i%4], Data: "referral",
+			Purpose: "registration", Authorized: "nurse", Status: audit.Exception,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		entries = append(entries, audit.Entry{
+			Time: base.Add(time.Duration(i)*24*time.Hour + 23*time.Hour), Op: audit.Allow,
+			User: []string{"eve", "mallory"}[i%2], Data: "psychiatry",
+			Purpose: "research", Authorized: "clerk", Status: audit.Exception,
+		})
+	}
+	informal := []policy.Rule{policy.MustRule(
+		policy.T("data", "referral"), policy.T("purpose", "registration"), policy.T("authorized", "nurse"))}
+	violations := []policy.Rule{policy.MustRule(
+		policy.T("data", "psychiatry"), policy.T("purpose", "research"), policy.T("authorized", "clerk"))}
+	fmt.Println("| reviewer | precision | recall |")
+	fmt.Println("|---|---|---|")
+	for _, rc := range []struct {
+		name     string
+		reviewer core.Reviewer
+	}{
+		{"naive adopt-all", core.AdoptAll},
+		{"suspicion reviewer", core.SuspicionReviewer(core.Filter(entries), 0.5, 0.9)},
+	} {
+		sess := core.NewSession(scenario.PolicyStore(), scenario.Vocabulary(), core.Options{})
+		round, err := sess.Run(entries, rc.reviewer)
+		if err != nil {
+			return err
+		}
+		sc := workflow.Evaluate(round.Adopted, informal, violations)
+		fmt.Printf("| %s | %.2f | %.2f |\n", rc.name, sc.Precision, sc.Recall)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	_ = w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestHarnessReproducesPaper(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-quick"}) })
+	if err != nil {
+		t.Fatalf("harness failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"E2 — Figure 3 coverage",
+		"| ComputeCoverage(P_PS, P_AL, V) | 0.50 | 0.50 | OK |",
+		"| coverage over snapshot | 0.30 | 0.30 | OK |",
+		"| coverage after adoption | 0.80 | 0.80 | OK |",
+		"pattern: authorized=Nurse & data=Referral & purpose=Registration",
+		"extraction precision 1.00, recall 1.00",
+		"| naive adopt-all | 0.50 | 1.00 |",
+		"| suspicion reviewer | 1.00 | 1.00 |",
+		"all paper artifacts reproduced",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("harness output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("harness reported a mismatch:\n%s", out)
+	}
+}
+
+func TestHarnessBadFlag(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-bogus"}) }); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBuildSystemDemo(t *testing.T) {
+	sys, err := buildSystem(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Rules()) != 3 {
+		t.Errorf("demo rules = %v", sys.Rules())
+	}
+	res, _, err := sys.Query("tim", "nurse", "treatment", `SELECT referral FROM records`)
+	if err != nil || len(res.Rows) != 3 {
+		t.Errorf("demo fixture broken: %v %v", res, err)
+	}
+	plain, err := buildSystem(false)
+	if err != nil || len(plain.Rules()) != 0 {
+		t.Errorf("plain system: %v %v", plain, err)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	// Find a free port.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+
+	sys, err := buildSystem(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, addr, sys) }()
+
+	// Wait for readiness.
+	url := fmt.Sprintf("http://%s", addr)
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never became ready: %v", err)
+	}
+	_ = resp.Body.Close()
+
+	// A real end-to-end query over TCP.
+	body, _ := json.Marshal(map[string]string{
+		"user": "tim", "role": "nurse", "purpose": "treatment",
+		"sql": "SELECT referral FROM records",
+	})
+	resp, err = http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	var qr struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 3 {
+		t.Errorf("rows = %v", qr.Rows)
+	}
+
+	// Graceful shutdown.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestServeBadAddress(t *testing.T) {
+	sys, err := buildSystem(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := serve(ctx, "256.256.256.256:99999", sys); err == nil {
+		t.Error("bad address accepted")
+	}
+}

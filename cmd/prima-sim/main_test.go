@@ -1,0 +1,121 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	_ = w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestEpochLoop(t *testing.T) {
+	dir := t.TempDir()
+	auditOut := filepath.Join(dir, "audit.jsonl")
+	policyOut := filepath.Join(dir, "refined.txt")
+	out, err := capture(t, func() error {
+		return run([]string{"-epochs", "3", "-days", "8", "-seed", "7",
+			"-out", auditOut, "-policy-out", policyOut})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "precision 1.00, recall 1.00") {
+		t.Errorf("extraction quality line missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1,") || strings.HasPrefix(l, "2,") || strings.HasPrefix(l, "3,") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 3 {
+		t.Fatalf("epoch rows = %v", dataLines)
+	}
+	// Coverage rises from epoch 1 to epoch 3.
+	first := strings.Split(dataLines[0], ",")
+	last := strings.Split(dataLines[2], ",")
+	if first[3] >= last[3] {
+		t.Errorf("coverage did not rise: %s -> %s", first[3], last[3])
+	}
+
+	// The audit log is loadable and non-trivial.
+	f, err := os.Open(auditOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := audit.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 100 {
+		t.Errorf("audit log has only %d entries", len(entries))
+	}
+	// The refined policy file includes adopted rules.
+	data, err := os.ReadFile(policyOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "registration") {
+		t.Errorf("refined policy:\n%s", data)
+	}
+}
+
+func TestSweepMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-sweep", "-days", "10", "-epochs", "1", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "f,min_users,patterns,precision,recall") {
+		t.Fatalf("sweep header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 20 {
+		t.Errorf("sweep grid too small:\n%s", out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-nope"}) }); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-out", "/no/such/dir/file.jsonl", "-epochs", "1", "-days", "1"})
+	}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}
+
+func TestSuspicionFlag(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-epochs", "2", "-days", "10", "-seed", "5", "-suspicion"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "precision 1.00, recall 1.00") {
+		t.Errorf("suspicion-reviewed run quality:\n%s", out)
+	}
+}

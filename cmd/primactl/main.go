@@ -1,0 +1,54 @@
+// Command primactl is the PRIMA command-line tool: it computes policy
+// coverage, runs policy refinement over audit logs, and replays the
+// paper's worked examples.
+//
+// Usage:
+//
+//	primactl demo fig3                      reproduce the Figure 3 coverage example
+//	primactl demo table1                    reproduce the §5 / Table 1 walk-through
+//	primactl coverage -vocab V -policy P -audit A
+//	primactl refine   -vocab V -policy P -audit A [-support 5] [-users 2] [-adopt -out P']
+//	primactl generalize -vocab V -policy P [-out P']
+//	primactl report   -vocab V -policy P -audit A [-title T]
+//	primactl vocab    [-file V]             print a vocabulary (default: the paper's)
+//
+// Vocabularies use the indented text format, policies one compact
+// rule per line, audit logs JSONL or CSV (by extension).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "primactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("a subcommand is required: demo, coverage, refine, vocab")
+	}
+	switch args[0] {
+	case "demo":
+		return cmdDemo(args[1:])
+	case "coverage":
+		return cmdCoverage(args[1:])
+	case "refine":
+		return cmdRefine(args[1:])
+	case "vocab":
+		return cmdVocab(args[1:])
+	case "generalize":
+		return cmdGeneralize(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "help", "-h", "--help":
+		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, generalize, report, vocab")
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}

@@ -1,0 +1,42 @@
+// Package prima is a Go implementation of PRIMA — the PRIvacy
+// Management Architecture of Bhatti & Grandison (IBM Almaden, 2007),
+// "Towards Improved Privacy Policy Coverage in Healthcare Using
+// Policy Refinement".
+//
+// PRIMA closes the gap between a healthcare organization's published
+// privacy policy (its ideal workflow) and the organization's actual
+// practice as recorded in audit logs (its real workflow, dominated by
+// break-the-glass exception access). It does so with two formal
+// tools:
+//
+//   - Policy coverage (paper §3.2): the fraction of the audit log's
+//     ground rules that the policy store's range contains.
+//   - Policy refinement (paper §4.3): Filter the audit log down to
+//     exception-based practice, extract recurring multi-user patterns
+//     with a SQL GROUP BY/HAVING analysis (or Apriori mining), prune
+//     the ones the policy already covers, and hand the remainder to a
+//     privacy officer for adoption.
+//
+// The System type wires together every substrate the paper's
+// architecture names: a relational engine (minidb), Hippocratic
+// Database Active Enforcement and Compliance Auditing middleware
+// (hdb), patient consent (consent), audit-log federation (audit), the
+// coverage/refinement core (core), Apriori mining (mining), a
+// clinical workflow simulator (workflow) and a tree-record adapter
+// (treerec).
+//
+// Quick start:
+//
+//	sys := prima.New(prima.Config{})
+//	sys.DB().MustExec(`CREATE TABLE records (patient TEXT, referral TEXT)`)
+//	_ = sys.RegisterTable(prima.TableMapping{
+//	    Table: "records", PatientCol: "patient",
+//	    Categories: map[string]string{"referral": "referral"},
+//	})
+//	_, _ = sys.AddRule("data=general & purpose=treatment & authorized=nurse")
+//	res, _, err := sys.Query("tim", "nurse", "treatment", `SELECT referral FROM records`)
+//
+// See examples/ for runnable end-to-end scenarios, DESIGN.md for the
+// architecture inventory and EXPERIMENTS.md for the paper-vs-measured
+// record.
+package prima

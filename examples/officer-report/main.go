@@ -1,0 +1,70 @@
+// Officer-report: generate the Markdown report a privacy officer
+// would review between refinement rounds. A month of hospital
+// activity is simulated, one refinement round runs with a reviewer
+// that rejects anything touching mental-health data, and the report
+// summarizes coverage, the refinement outcome, and break-the-glass
+// pressure by role.
+package main
+
+import (
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/vocab"
+	"repro/internal/workflow"
+)
+
+func main() {
+	cfg := workflow.DefaultHospital(1234)
+	sim, err := workflow.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, err := sim.Run(0, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A cautious reviewer: adopt routine practices, but anything
+	// touching mental-health data needs investigation, and research
+	// purposes are rejected outright.
+	officer := core.ReviewerFunc(func(p core.Pattern) core.Decision {
+		if d, _ := p.Rule.Value("data"); cfg.Vocab.Subsumes("data", "mental_health", d) {
+			return core.Investigate
+		}
+		if pu, _ := p.Rule.Value("purpose"); vocab.Norm(pu) == "research" {
+			return core.Reject
+		}
+		return core.Adopt
+	})
+
+	sess := core.NewSession(cfg.Policy, cfg.Vocab, core.Options{})
+	if _, err := sess.Run(entries, officer); err != nil {
+		log.Fatal(err)
+	}
+
+	al := audit.ToPolicy("AL", entries)
+	cov, err := core.Coverage(cfg.Policy, al, cfg.Vocab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ec, err := core.EntryCoverage(cfg.Policy, entries, cfg.Vocab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = report.Write(os.Stdout, report.Input{
+		Title:         "St. Elsewhere — monthly privacy review",
+		Generated:     time.Date(2007, 4, 1, 9, 0, 0, 0, time.UTC),
+		Coverage:      cov,
+		EntryCoverage: ec,
+		Rounds:        sess.History,
+		Entries:       entries,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

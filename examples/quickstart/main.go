@@ -1,0 +1,76 @@
+// Quickstart: assemble a PRIMA system, enforce a policy on a clinical
+// table, break the glass, and let refinement propose the missing rule.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	prima "repro"
+)
+
+func main() {
+	// 1. Assemble the architecture (Figure 4): vocabulary, policy
+	// store, clinical DB, enforcement, auditing, consent.
+	sys := prima.New(prima.Config{})
+
+	// 2. Define the clinical schema and place it under enforcement.
+	sys.DB().MustExec(`CREATE TABLE records (patient TEXT, referral TEXT, psychiatry TEXT)`)
+	sys.DB().MustExec(`INSERT INTO records VALUES
+		('p1', 'cardiology consult', 'none'),
+		('p2', 'dermatology consult', 'anxiety treatment notes')`)
+	if err := sys.RegisterTable(prima.TableMapping{
+		Table:      "records",
+		PatientCol: "patient",
+		Categories: map[string]string{"referral": "referral", "psychiatry": "psychiatry"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Enter a fine-grained policy rule through the control center.
+	if _, err := sys.AddRule("data=general & purpose=treatment & authorized=nurse"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. A nurse reads referrals for treatment: allowed and audited.
+	res, _, err := sys.Query("tim", "nurse", "treatment", `SELECT patient, referral FROM records`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("treatment query returned %d rows\n", len(res.Rows))
+
+	// 5. Registration is not covered: denied, so the nurses break the
+	// glass — repeatedly, as the ward actually works.
+	_, _, err = sys.Query("mark", "nurse", "registration", `SELECT referral FROM records`)
+	fmt.Printf("registration query denied: %v\n", errors.Is(err, prima.ErrDenied))
+	for _, nurse := range []string{"mark", "tim", "bob", "mark", "tim"} {
+		if _, _, err := sys.BreakGlass(nurse, "nurse", "registration",
+			"front desk backlog", `SELECT referral FROM records`); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 6. Coverage has dropped; refinement finds the informal practice.
+	rep, err := sys.EntryCoverage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coverage before refinement: %.0f%%\n", rep.Coverage*100)
+
+	round, err := sys.RunRefinement(prima.AdoptAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rule := range round.Adopted {
+		fmt.Printf("adopted: %s\n", rule.Compact())
+	}
+	fmt.Printf("coverage after refinement: %.0f%%\n", round.CoverageAfter*100)
+
+	// 7. The workflow no longer needs the glass hammer.
+	res, _, err = sys.Query("mark", "nurse", "registration", `SELECT referral FROM records`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registration query now returns %d rows\n", len(res.Rows))
+}

@@ -1,0 +1,287 @@
+// Package audit implements the PRIMA audit substrate (paper §4.2):
+// the audit entry schema {(time, t), (op, X), (user, u), (data, d),
+// (purpose, p), (authorized, a), (status, s)}, append-only audit logs,
+// JSONL and CSV codecs, and the Audit Management federation that
+// consolidates several site logs into one consistent view (the role
+// DB2 Information Integrator plays in the paper's first instantiation).
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// Op is the audit outcome: whether the access was allowed.
+type Op int
+
+// Op values follow the paper: 0 = disallow, 1 = allow.
+const (
+	Deny  Op = 0
+	Allow Op = 1
+)
+
+// String renders the op.
+func (o Op) String() string {
+	if o == Allow {
+		return "allow"
+	}
+	return "deny"
+}
+
+// Status distinguishes exception-based (break-the-glass) access from
+// regular access.
+type Status int
+
+// Status values follow the paper: 0 = exception-based, 1 = regular.
+const (
+	Exception Status = 0
+	Regular   Status = 1
+)
+
+// String renders the status.
+func (s Status) String() string {
+	if s == Regular {
+		return "regular"
+	}
+	return "exception"
+}
+
+// Entry is one audit record with the paper's exact schema.
+type Entry struct {
+	Time       time.Time `json:"time"`
+	Op         Op        `json:"op"`
+	User       string    `json:"user"`
+	Data       string    `json:"data"`
+	Purpose    string    `json:"purpose"`
+	Authorized string    `json:"authorized"` // authorization category (role)
+	Status     Status    `json:"status"`
+
+	// Site identifies the originating audit system when several logs
+	// are federated; empty for a single-log deployment.
+	Site string `json:"site,omitempty"`
+	// Reason carries the manually entered justification of an
+	// exception-based access, when one was recorded.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Validate reports schema violations: a usable audit row needs a
+// timestamp, user, data category, purpose and role.
+func (e Entry) Validate() error {
+	var missing []string
+	if e.Time.IsZero() {
+		missing = append(missing, "time")
+	}
+	if strings.TrimSpace(e.User) == "" {
+		missing = append(missing, "user")
+	}
+	if strings.TrimSpace(e.Data) == "" {
+		missing = append(missing, "data")
+	}
+	if strings.TrimSpace(e.Purpose) == "" {
+		missing = append(missing, "purpose")
+	}
+	if strings.TrimSpace(e.Authorized) == "" {
+		missing = append(missing, "authorized")
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("audit: entry missing %s", strings.Join(missing, ", "))
+	}
+	if e.Op != Allow && e.Op != Deny {
+		return fmt.Errorf("audit: bad op %d", e.Op)
+	}
+	if e.Status != Regular && e.Status != Exception {
+		return fmt.Errorf("audit: bad status %d", e.Status)
+	}
+	return nil
+}
+
+// Rule converts the entry into a ground rule over the policy
+// attributes (data, purpose, authorized) — the projection the paper
+// uses to treat the audit log as the policy P_AL.
+func (e Entry) Rule() policy.Rule {
+	return policy.MustRule(
+		policy.T("data", e.Data),
+		policy.T("purpose", e.Purpose),
+		policy.T("authorized", e.Authorized),
+	)
+}
+
+// Key returns a canonical identity for deduplication across federated
+// logs: same instant, same actor, same object, same outcome.
+func (e Entry) Key() string {
+	return fmt.Sprintf("%d|%d|%s|%s|%s|%s|%d",
+		e.Time.UnixNano(), e.Op, vocab.Norm(e.User), vocab.Norm(e.Data),
+		vocab.Norm(e.Purpose), vocab.Norm(e.Authorized), e.Status)
+}
+
+// String renders the entry compactly.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s %s user=%s data=%s purpose=%s authorized=%s status=%s",
+		e.Time.Format(time.RFC3339), e.Op, e.User, e.Data, e.Purpose, e.Authorized, e.Status)
+}
+
+// Log is a thread-safe, append-only audit log.
+type Log struct {
+	mu      sync.RWMutex
+	site    string
+	entries []Entry
+	sink    io.Writer
+	sinkErr func(error)
+}
+
+// NewLog returns an empty log for the named site (may be empty).
+func NewLog(site string) *Log { return &Log{site: site} }
+
+// Site returns the log's site identifier.
+func (l *Log) Site() string { return l.site }
+
+// SetSink attaches a durable writer: every appended entry is also
+// written to it as one JSON line, under the log's lock, so the sink
+// sees entries in append order. onErr (may be nil) is invoked when a
+// sink write fails; the in-memory append still succeeds, keeping the
+// clinical workflow unimpeded (the paper's first design constraint)
+// while surfacing the durability fault.
+func (l *Log) SetSink(w io.Writer, onErr func(error)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = w
+	l.sinkErr = onErr
+}
+
+// Append validates and appends entries. The log's site is stamped on
+// entries that do not already carry one.
+func (l *Log) Append(entries ...Entry) error {
+	for i := range entries {
+		if err := entries[i].Validate(); err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		if e.Site == "" {
+			e.Site = l.site
+		}
+		l.entries = append(l.entries, e)
+		if l.sink != nil {
+			if err := json.NewEncoder(l.sink).Encode(e); err != nil && l.sinkErr != nil {
+				l.sinkErr(err)
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Snapshot returns a copy of the entries in append order.
+func (l *Log) Snapshot() []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Filtered returns a copy of the entries satisfying keep.
+func (l *Log) Filtered(keep func(Entry) bool) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Since returns entries with Time >= t, preserving order.
+func (l *Log) Since(t time.Time) []Entry {
+	return l.Filtered(func(e Entry) bool { return !e.Time.Before(t) })
+}
+
+// Exceptions returns the exception-based (break-the-glass) entries.
+func (l *Log) Exceptions() []Entry {
+	return l.Filtered(func(e Entry) bool { return e.Status == Exception })
+}
+
+// Reset discards all entries; used between training periods.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = nil
+}
+
+// ToPolicy builds the ground policy P_AL from entries: one rule per
+// distinct (data, purpose, authorized) row. Per Definition 7 the
+// policy is tied to the audit log; the paper's coverage arithmetic
+// counts one rule per audit row, and Policy.Add deduplicates exact
+// repeats, matching the Fig. 3 treatment where each row is a distinct
+// rule. Pass the entries to convert (e.g. a Snapshot).
+func ToPolicy(name string, entries []Entry) *policy.Policy {
+	p := policy.New(name)
+	for _, e := range entries {
+		p.Add(e.Rule())
+	}
+	return p
+}
+
+// Stats summarizes a set of entries.
+type Stats struct {
+	Total      int
+	Allowed    int
+	Denied     int
+	Exceptions int
+	Regular    int
+	Users      int
+	First      time.Time
+	Last       time.Time
+}
+
+// Summarize computes Stats over entries.
+func Summarize(entries []Entry) Stats {
+	var s Stats
+	users := make(map[string]bool)
+	for _, e := range entries {
+		s.Total++
+		if e.Op == Allow {
+			s.Allowed++
+		} else {
+			s.Denied++
+		}
+		if e.Status == Exception {
+			s.Exceptions++
+		} else {
+			s.Regular++
+		}
+		users[vocab.Norm(e.User)] = true
+		if s.First.IsZero() || e.Time.Before(s.First) {
+			s.First = e.Time
+		}
+		if e.Time.After(s.Last) {
+			s.Last = e.Time
+		}
+	}
+	s.Users = len(users)
+	return s
+}
+
+// SortByTime sorts entries chronologically (stable, so same-instant
+// entries keep their relative order).
+func SortByTime(entries []Entry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Time.Before(entries[j].Time) })
+}

@@ -1,0 +1,112 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEntries() []Entry {
+	return []Entry{
+		{Time: t0, Op: Allow, User: "John", Data: "Prescription", Purpose: "Treatment", Authorized: "Nurse", Status: Regular, Site: "ward-1"},
+		{Time: t0.Add(time.Hour), Op: Deny, User: "Eve", Data: "Psychiatry", Purpose: "Research", Authorized: "Clerk", Status: Regular},
+		{Time: t0.Add(2 * time.Hour), Op: Allow, User: "Mark", Data: "Referral", Purpose: "Registration", Authorized: "Nurse", Status: Exception, Reason: "patient intake backlog"},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleEntries()
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(in) {
+		t.Errorf("expected %d lines, got %d", len(in), got)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries", len(out))
+	}
+	for i := range in {
+		if !out[i].Time.Equal(in[i].Time) || out[i].Key() != in[i].Key() || out[i].Reason != in[i].Reason {
+			t.Errorf("entry %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Valid JSON, invalid entry (missing user).
+	bad := `{"time":"2007-03-01T08:00:00Z","op":1,"data":"d","purpose":"p","authorized":"r","status":1}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+		t.Error("invalid entry accepted")
+	}
+	if out, err := ReadJSONL(strings.NewReader("")); err != nil || len(out) != 0 {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleEntries()
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries", len(out))
+	}
+	for i := range in {
+		if out[i].Key() != in[i].Key() || out[i].Site != in[i].Site || out[i].Reason != in[i].Reason {
+			t.Errorf("entry %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadCSVSevenColumnTable1Layout(t *testing.T) {
+	// Externally produced files with only the paper's seven columns
+	// must load.
+	src := "time,op,user,data,purpose,authorized,status\n" +
+		"2007-03-01T08:00:00Z,1,John,Prescription,Treatment,Nurse,1\n" +
+		"2007-03-01T10:00:00Z,1,Mark,Referral,Registration,Nurse,0\n"
+	out, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].Status != Exception || out[1].Site != "" {
+		t.Errorf("parsed: %+v", out)
+	}
+	// Headerless variant also loads.
+	noHeader := "2007-03-01T08:00:00Z,1,John,Prescription,Treatment,Nurse,1\n"
+	out, err = ReadCSV(strings.NewReader(noHeader))
+	if err != nil || len(out) != 1 {
+		t.Errorf("headerless: %v %v", out, err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"short row", "a,b,c\n"},
+		{"bad time", "nottime,1,u,d,p,r,1\n"},
+		{"bad op", "2007-03-01T08:00:00Z,x,u,d,p,r,1\n"},
+		{"bad status", "2007-03-01T08:00:00Z,1,u,d,p,r,x\n"},
+		{"invalid entry", "2007-03-01T08:00:00Z,9,u,d,p,r,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if out, err := ReadCSV(strings.NewReader("")); err != nil || out != nil {
+		t.Errorf("empty csv: %v %v", out, err)
+	}
+}

@@ -1,0 +1,53 @@
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAppendAndConsolidate runs parallel appenders against
+// several site logs while the federation repeatedly consolidates.
+// Run with -race.
+func TestConcurrentAppendAndConsolidate(t *testing.T) {
+	logs := []*Log{NewLog("a"), NewLog("b"), NewLog("c")}
+	fed := NewFederation(logs...)
+
+	const perSite = 200
+	var wg sync.WaitGroup
+	for s, l := range logs {
+		wg.Add(1)
+		go func(s int, l *Log) {
+			defer wg.Done()
+			for i := 0; i < perSite; i++ {
+				e := entry(t0.Add(time.Duration(s*perSite+i)*time.Second),
+					fmt.Sprintf("u%d", i%7), "referral", "registration", "nurse", Exception)
+				if err := l.Append(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s, l)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			res := fed.Consolidate()
+			for j := 1; j < len(res.Entries); j++ {
+				if res.Entries[j].Time.Before(res.Entries[j-1].Time) {
+					t.Error("consolidated view not chronological")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	res := fed.Consolidate()
+	if len(res.Entries) != 3*perSite {
+		t.Fatalf("final consolidation has %d entries", len(res.Entries))
+	}
+}

@@ -1,0 +1,138 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Federation consolidates several site audit logs into one consistent
+// view (paper §4.2: "these logs are either periodically replicated or
+// PRIMA-enabled, by the construction of a consistent consolidated view
+// of them"). Consolidation merges chronologically, removes duplicate
+// replicas of the same event, and reports conflicts — replicas that
+// share an identity instant but disagree on the recorded outcome,
+// which indicates clock or logging faults at a site.
+type Federation struct {
+	sources []*Log
+}
+
+// NewFederation builds a federation over the given source logs.
+func NewFederation(sources ...*Log) *Federation {
+	return &Federation{sources: append([]*Log(nil), sources...)}
+}
+
+// AddSource registers an additional source log.
+func (f *Federation) AddSource(l *Log) { f.sources = append(f.sources, l) }
+
+// Sources returns the number of federated logs.
+func (f *Federation) Sources() int { return len(f.sources) }
+
+// Conflict records two same-instant, same-actor, same-object entries
+// whose outcomes disagree across sites.
+type Conflict struct {
+	A, B Entry
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	return fmt.Sprintf("conflict between site %q and site %q: %s vs %s", c.A.Site, c.B.Site, c.A, c.B)
+}
+
+// Result is the outcome of a consolidation.
+type Result struct {
+	Entries    []Entry    // merged, chronological, deduplicated
+	Duplicates int        // identical replicas removed
+	Conflicts  []Conflict // same event identity, different outcome
+}
+
+// Consolidate builds the consolidated view. The merge is a k-way merge
+// by timestamp (each source log is sorted first, so out-of-order
+// appends at a site are tolerated). Entries that are byte-identical in
+// the seven schema columns are treated as replicas of the same event
+// and collapsed; entries that agree on (time, user, data, purpose)
+// but disagree on op or status are kept and reported as conflicts.
+func (f *Federation) Consolidate() Result {
+	type cursor struct {
+		entries []Entry
+		pos     int
+	}
+	cursors := make([]*cursor, 0, len(f.sources))
+	total := 0
+	for _, src := range f.sources {
+		es := src.Snapshot()
+		SortByTime(es)
+		total += len(es)
+		cursors = append(cursors, &cursor{entries: es})
+	}
+
+	var res Result
+	res.Entries = make([]Entry, 0, total)
+	seen := make(map[string]bool, total)
+	// identity without outcome, for conflict detection
+	byEvent := make(map[string]Entry, total)
+
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c.pos >= len(c.entries) {
+				continue
+			}
+			if best == -1 || c.entries[c.pos].Time.Before(cursors[best].entries[cursors[best].pos].Time) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := cursors[best].entries[cursors[best].pos]
+		cursors[best].pos++
+
+		key := e.Key()
+		if seen[key] {
+			res.Duplicates++
+			continue
+		}
+		seen[key] = true
+
+		evKey := fmt.Sprintf("%d|%s|%s|%s", e.Time.UnixNano(), e.User, e.Data, e.Purpose)
+		if prev, ok := byEvent[evKey]; ok && (prev.Op != e.Op || prev.Status != e.Status) {
+			res.Conflicts = append(res.Conflicts, Conflict{A: prev, B: e})
+		} else {
+			byEvent[evKey] = e
+		}
+		res.Entries = append(res.Entries, e)
+	}
+	return res
+}
+
+// ConsolidateLog consolidates into a fresh Log named site.
+func (f *Federation) ConsolidateLog(site string) (*Log, Result) {
+	res := f.Consolidate()
+	l := NewLog(site)
+	// Entries already validated at their sources.
+	l.entries = append(l.entries, res.Entries...)
+	return l, res
+}
+
+// BySite groups entries by their site identifier, sorted site order.
+func BySite(entries []Entry) map[string][]Entry {
+	out := make(map[string][]Entry)
+	for _, e := range entries {
+		out[e.Site] = append(out[e.Site], e)
+	}
+	return out
+}
+
+// Sites lists the distinct site identifiers in entries, sorted.
+func Sites(entries []Entry) []string {
+	set := make(map[string]bool)
+	for _, e := range entries {
+		set[e.Site] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,143 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/vocab"
+)
+
+// Retention implements the paper's §4.2 concern about "increased
+// storage demand" of always-on compliance auditing: logs are kept for
+// a training/compliance window and expired beyond it, optionally
+// after being archived through a codec.
+
+// Expire removes entries older than cutoff, returning how many were
+// dropped. It never drops exception-based entries younger than
+// exceptionCutoff, because undiscovered informal practice is exactly
+// what refinement still needs; pass the zero time to expire
+// uniformly.
+func (l *Log) Expire(cutoff, exceptionCutoff time.Time) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.entries[:0:0]
+	dropped := 0
+	for _, e := range l.entries {
+		keep := !e.Time.Before(cutoff)
+		if !keep && e.Status == Exception && !exceptionCutoff.IsZero() && !e.Time.Before(exceptionCutoff) {
+			keep = true
+		}
+		if keep {
+			kept = append(kept, e)
+		} else {
+			dropped++
+		}
+	}
+	l.entries = kept
+	return dropped
+}
+
+// Rotate atomically returns and removes every entry older than
+// cutoff, for archival; callers typically hand the result to
+// WriteJSONL before discarding it.
+func (l *Log) Rotate(cutoff time.Time) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.entries[:0:0]
+	var rotated []Entry
+	for _, e := range l.entries {
+		if e.Time.Before(cutoff) {
+			rotated = append(rotated, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	l.entries = kept
+	return rotated
+}
+
+// Count is a (value, count) pair used by the analysis helpers.
+type Count struct {
+	Value string
+	N     int
+}
+
+// topCounts aggregates entries by a key and returns the top n counts
+// (ties broken by value for determinism).
+func topCounts(entries []Entry, n int, key func(Entry) string) []Count {
+	m := make(map[string]int)
+	for _, e := range entries {
+		m[key(e)]++
+	}
+	out := make([]Count, 0, len(m))
+	for v, c := range m {
+		out = append(out, Count{Value: v, N: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].Value < out[j].Value
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopUsers returns the most active users in the entries.
+func TopUsers(entries []Entry, n int) []Count {
+	return topCounts(entries, n, func(e Entry) string { return vocab.Norm(e.User) })
+}
+
+// TopData returns the most accessed data categories.
+func TopData(entries []Entry, n int) []Count {
+	return topCounts(entries, n, func(e Entry) string { return vocab.Norm(e.Data) })
+}
+
+// TopPurposes returns the most used purposes.
+func TopPurposes(entries []Entry, n int) []Count {
+	return topCounts(entries, n, func(e Entry) string { return vocab.Norm(e.Purpose) })
+}
+
+// ExceptionRateByRole reports, per role, the fraction of accesses
+// that were exception-based — the per-role "break-the-glass pressure"
+// a privacy officer watches between refinement rounds.
+func ExceptionRateByRole(entries []Entry) map[string]float64 {
+	total := make(map[string]int)
+	exceptions := make(map[string]int)
+	for _, e := range entries {
+		role := vocab.Norm(e.Authorized)
+		total[role]++
+		if e.Status == Exception {
+			exceptions[role]++
+		}
+	}
+	out := make(map[string]float64, len(total))
+	for role, n := range total {
+		out[role] = float64(exceptions[role]) / float64(n)
+	}
+	return out
+}
+
+// DailyCounts buckets entries per UTC day, ordered chronologically.
+func DailyCounts(entries []Entry) []Count {
+	return dailyCountsFormat(entries, "2006-01-02")
+}
+
+func dailyCountsFormat(entries []Entry, layout string) []Count {
+	m := make(map[string]int)
+	for _, e := range entries {
+		m[e.Time.UTC().Format(layout)]++
+	}
+	out := make([]Count, 0, len(m))
+	for d, c := range m {
+		out = append(out, Count{Value: d, N: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// String renders the count.
+func (c Count) String() string { return fmt.Sprintf("%s: %d", c.Value, c.N) }

@@ -1,0 +1,78 @@
+package consent
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// MarshalJSON renders the choice as its string form.
+func (c Choice) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON accepts "opt-in", "opt-out", "unset".
+func (c *Choice) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("consent: %w", err)
+	}
+	switch s {
+	case "opt-in":
+		*c = OptIn
+	case "opt-out":
+		*c = OptOut
+	case "unset":
+		*c = Unset
+	default:
+		return fmt.Errorf("consent: unknown choice %q", s)
+	}
+	return nil
+}
+
+// Record is the exportable form of one consent decision.
+type Record struct {
+	Patient string    `json:"patient"`
+	Data    string    `json:"data,omitempty"`
+	Purpose string    `json:"purpose,omitempty"`
+	Choice  Choice    `json:"choice"`
+	At      time.Time `json:"at"`
+	Expires time.Time `json:"expires,omitempty"`
+}
+
+// Export returns every recorded decision, sorted by patient then
+// record time, suitable for snapshotting.
+func (s *Store) Export() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for patient, recs := range s.byPatient {
+		for _, r := range recs {
+			out = append(out, Record{
+				Patient: patient,
+				Data:    r.data,
+				Purpose: r.purpose,
+				Choice:  r.choice,
+				At:      r.at,
+				Expires: r.expires,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Patient != out[j].Patient {
+			return out[i].Patient < out[j].Patient
+		}
+		return out[i].At.Before(out[j].At)
+	})
+	return out
+}
+
+// Import replays exported records into the store (appending to any
+// existing state).
+func (s *Store) Import(records []Record) error {
+	for i, r := range records {
+		if err := s.SetWithExpiry(r.Patient, r.Data, r.Purpose, r.Choice, r.At, r.Expires); err != nil {
+			return fmt.Errorf("consent: record %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package consent
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := store(t, true)
+	if err := s.Set("bob", "psychiatry", "research", OptOut, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetWithExpiry("amy", "clinical", "", OptOut, t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("amy", "lab_result", "research", OptIn, t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Export()
+	if len(recs) != 3 {
+		t.Fatalf("exported %d records", len(recs))
+	}
+	// Sorted by patient then time.
+	if recs[0].Patient != "amy" || recs[2].Patient != "bob" {
+		t.Errorf("order: %+v", recs)
+	}
+	if recs[0].Expires.IsZero() {
+		t.Error("expiry lost in export")
+	}
+
+	fresh := store(t, true)
+	if err := fresh.Import(recs); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Allowed("bob", "psychiatry", "research") {
+		t.Error("imported opt-out not applied")
+	}
+	if !fresh.CheckAt("amy", "referral", "treatment", t0.Add(2*time.Hour)).Allowed {
+		t.Error("imported expiry not honoured")
+	}
+	if !fresh.Allowed("amy", "lab_result", "research") {
+		t.Error("imported opt-in not applied")
+	}
+}
+
+func TestImportRejectsBadRecords(t *testing.T) {
+	s := store(t, true)
+	err := s.Import([]Record{{Patient: "", Choice: OptOut, At: t0}})
+	if err == nil {
+		t.Error("empty patient accepted on import")
+	}
+	err = s.Import([]Record{{Patient: "p", Choice: Unset, At: t0}})
+	if err == nil {
+		t.Error("unset choice accepted on import")
+	}
+}
+
+func TestChoiceJSON(t *testing.T) {
+	for _, c := range []Choice{OptIn, OptOut, Unset} {
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Choice
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Errorf("round trip %v -> %v", c, back)
+		}
+	}
+	var c Choice
+	if err := json.Unmarshal([]byte(`"sideways"`), &c); err == nil {
+		t.Error("unknown choice string accepted")
+	}
+	if err := json.Unmarshal([]byte(`7`), &c); err == nil {
+		t.Error("numeric choice accepted")
+	}
+}
+
+func TestRecordJSONShape(t *testing.T) {
+	r := Record{Patient: "p", Data: "clinical", Choice: OptOut, At: t0}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if want := `"choice":"opt-out"`; !strings.Contains(s, want) {
+		t.Errorf("JSON missing %q: %s", want, s)
+	}
+	// A zero time is not "empty" to encoding/json, so expires is
+	// always present; Import treats the zero value as "never".
+	if !strings.Contains(s, `"expires":"0001-01-01T00:00:00Z"`) {
+		t.Errorf("unexpected expires encoding: %s", s)
+	}
+}

@@ -1,0 +1,221 @@
+// Package consent implements the patient-consent store the HDB
+// Control Center feeds (paper §4.1: the enforcement middleware
+// returns "only data consistent with policy and patient preferences").
+// The model follows the HIPAA practice PRIMA targets: uses and
+// disclosures are permitted by default for healthcare operations, and
+// each patient may record opt-outs (or explicit opt-ins) per
+// (data category, purpose) pair, at any granularity the privacy
+// vocabulary supports — a choice recorded for a composite category
+// applies to everything beneath it.
+package consent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/vocab"
+)
+
+// Choice is a recorded consent decision.
+type Choice int
+
+// Choice values. Unset means "no recorded choice": the store default
+// applies.
+const (
+	Unset Choice = iota
+	OptIn
+	OptOut
+)
+
+// String names the choice.
+func (c Choice) String() string {
+	switch c {
+	case OptIn:
+		return "opt-in"
+	case OptOut:
+		return "opt-out"
+	default:
+		return "unset"
+	}
+}
+
+// record is one stored consent decision.
+type record struct {
+	data    string // vocabulary data category (possibly composite); "" = all data
+	purpose string // vocabulary purpose (possibly composite); "" = all purposes
+	choice  Choice
+	at      time.Time
+	expires time.Time // zero = never (HIPAA authorizations often carry an expiry)
+}
+
+// Store is a thread-safe consent registry.
+type Store struct {
+	mu sync.RWMutex
+	v  *vocab.Vocabulary
+	// DefaultAllow is the store-wide default when no patient choice
+	// applies. HIPAA treatment/payment/operations default to allowed.
+	defaultAllow bool
+	byPatient    map[string][]record
+}
+
+// NewStore builds a consent store over the given vocabulary.
+// defaultAllow selects the behaviour when a patient has recorded no
+// applicable choice.
+func NewStore(v *vocab.Vocabulary, defaultAllow bool) *Store {
+	return &Store{v: v, defaultAllow: defaultAllow, byPatient: make(map[string][]record)}
+}
+
+// Set records a choice for patient over (data, purpose). Empty data
+// or purpose mean "any". The most recent, most specific choice wins
+// at decision time.
+func (s *Store) Set(patient, data, purpose string, choice Choice, at time.Time) error {
+	return s.SetWithExpiry(patient, data, purpose, choice, at, time.Time{})
+}
+
+// SetWithExpiry is Set with an expiration instant, after which the
+// record no longer applies (HIPAA authorizations typically expire).
+// A zero expiry never lapses.
+func (s *Store) SetWithExpiry(patient, data, purpose string, choice Choice, at, expires time.Time) error {
+	if vocab.Norm(patient) == "" {
+		return fmt.Errorf("consent: empty patient id")
+	}
+	if choice != OptIn && choice != OptOut {
+		return fmt.Errorf("consent: choice must be opt-in or opt-out")
+	}
+	if !expires.IsZero() && !expires.After(at) {
+		return fmt.Errorf("consent: expiry %v is not after the record time %v", expires, at)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := vocab.Norm(patient)
+	s.byPatient[key] = append(s.byPatient[key], record{
+		data:    vocab.Norm(data),
+		purpose: vocab.Norm(purpose),
+		choice:  choice,
+		at:      at,
+		expires: expires,
+	})
+	return nil
+}
+
+// Revoke removes every recorded choice of the patient, returning the
+// number of records dropped.
+func (s *Store) Revoke(patient string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := vocab.Norm(patient)
+	n := len(s.byPatient[key])
+	delete(s.byPatient, key)
+	return n
+}
+
+// Decision explains a consent check.
+type Decision struct {
+	Allowed bool
+	// Matched reports whether a recorded choice applied (false: the
+	// store default decided).
+	Matched bool
+	Choice  Choice
+}
+
+// Check decides whether the patient's data in the given category may
+// be used for the given purpose, as of now. See CheckAt.
+func (s *Store) Check(patient, data, purpose string) Decision {
+	return s.CheckAt(patient, data, purpose, time.Now())
+}
+
+// CheckAt decides whether the patient's data in the given category
+// may be used for the given purpose at instant now. Specificity: a
+// record matches when its data term subsumes the requested category
+// and its purpose term subsumes the requested purpose (empty terms
+// subsume everything) and it has not expired. Among matches, deeper
+// (more specific) records win; ties break to the most recent record.
+func (s *Store) CheckAt(patient, data, purpose string, now time.Time) Decision {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	recs := s.byPatient[vocab.Norm(patient)]
+	best := -1
+	bestSpec := -1
+	for i, r := range recs {
+		if !r.expires.IsZero() && now.After(r.expires) {
+			continue
+		}
+		if !s.subsumes("data", r.data, data) || !s.subsumes("purpose", r.purpose, purpose) {
+			continue
+		}
+		spec := s.specificity("data", r.data) + s.specificity("purpose", r.purpose)
+		if spec > bestSpec || (spec == bestSpec && best >= 0 && !recs[i].at.Before(recs[best].at)) {
+			best = i
+			bestSpec = spec
+		}
+	}
+	if best < 0 {
+		return Decision{Allowed: s.defaultAllow, Matched: false, Choice: Unset}
+	}
+	r := recs[best]
+	return Decision{Allowed: r.choice == OptIn, Matched: true, Choice: r.choice}
+}
+
+// Allowed is Check(...).Allowed.
+func (s *Store) Allowed(patient, data, purpose string) bool {
+	return s.Check(patient, data, purpose).Allowed
+}
+
+// subsumes treats an empty recorded term as "any".
+func (s *Store) subsumes(attr, recorded, requested string) bool {
+	if recorded == "" {
+		return true
+	}
+	return s.v.Subsumes(attr, recorded, requested)
+}
+
+// specificity scores a recorded term: empty = 0, otherwise its depth
+// in the hierarchy (unknown values count as depth 1).
+func (s *Store) specificity(attr, value string) int {
+	if value == "" {
+		return 0
+	}
+	h := s.v.Hierarchy(attr)
+	if h == nil {
+		return 1
+	}
+	if d := h.Depth(value); d > 0 {
+		return d
+	}
+	return 1
+}
+
+// Patients lists patients with recorded choices, sorted.
+func (s *Store) Patients() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byPatient))
+	for p := range s.byPatient {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OptedOut returns the patients whose recorded choices deny the given
+// (data, purpose) access; the enforcement layer uses this to rewrite
+// queries with a patient exclusion predicate.
+func (s *Store) OptedOut(data, purpose string) []string {
+	s.mu.RLock()
+	patients := make([]string, 0, len(s.byPatient))
+	for p := range s.byPatient {
+		patients = append(patients, p)
+	}
+	s.mu.RUnlock()
+
+	var out []string
+	for _, p := range patients {
+		if !s.Allowed(p, data, purpose) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+// Package core implements the primary contribution of PRIMA (Bhatti &
+// Grandison, 2007): policy coverage (Section 3.2, Algorithm 1) and
+// policy refinement (Section 4.3, Algorithms 2–6), together with the
+// refinement session machinery that closes the feedback loop between
+// the real workflow (audit logs) and the ideal workflow (policy
+// store).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// ComputeCoverage is Algorithm 1 verbatim: the coverage of Px in
+// relation to Py is #(Range_Px ∩ Range_Py) / #Range_Py (Definition 9).
+// Coverage of anything against an empty policy is defined as 1 (there
+// is nothing to cover).
+func ComputeCoverage(px, py *policy.Policy, v *vocab.Vocabulary) (float64, error) {
+	rx, err := policy.NewRange(px, v, 0) // getRange(Px, V)
+	if err != nil {
+		return 0, fmt.Errorf("core: range of %s: %w", px.Name, err)
+	}
+	ry, err := policy.NewRange(py, v, 0) // getRange(Py, V)
+	if err != nil {
+		return 0, fmt.Errorf("core: range of %s: %w", py.Name, err)
+	}
+	my := ry.Len()
+	if my == 0 {
+		return 1, nil
+	}
+	overlap := rx.Intersect(ry)
+	return float64(len(overlap)) / float64(my), nil
+}
+
+// CompleteCoverage is Definition 10: Px completely covers Py iff
+// Range_Px ∩ Range_Py = Range_Py.
+func CompleteCoverage(px, py *policy.Policy, v *vocab.Vocabulary) (bool, error) {
+	c, err := ComputeCoverage(px, py, v)
+	if err != nil {
+		return false, err
+	}
+	return c == 1, nil
+}
+
+// NearMiss explains why a policy rule almost covers an uncovered
+// ground rule: every attribute matches except one. This reproduces
+// the paper's §3.3 narratives ("the policy allows the use of such
+// data only for treatment purpose").
+type NearMiss struct {
+	PolicyRule policy.Rule // the composite rule in Px that nearly applies
+	Attr       string      // the attribute that fails
+	Allowed    string      // the value the policy rule allows for Attr
+	Actual     string      // the value the uncovered rule carries
+}
+
+// String renders the near miss as an explanation sentence.
+func (n NearMiss) String() string {
+	return fmt.Sprintf("policy allows %s=%s where the access used %s=%s (rule %s)",
+		n.Attr, n.Allowed, n.Attr, n.Actual, n.PolicyRule)
+}
+
+// Gap is one uncovered ground rule of Py with its explanations.
+type Gap struct {
+	Rule       policy.Rule
+	NearMisses []NearMiss
+}
+
+// Report is the detailed outcome of a coverage computation.
+type Report struct {
+	Coverage float64
+	RangeX   int           // #Range_Px
+	RangeY   int           // #Range_Py
+	Overlap  int           // #(Range_Px ∩ Range_Py)
+	Matched  []policy.Rule // the intersection, in Range_Py order
+	Gaps     []Gap         // uncovered rules of Py with explanations
+}
+
+// Coverage computes the coverage of px in relation to py and explains
+// every gap.
+func Coverage(px, py *policy.Policy, v *vocab.Vocabulary) (*Report, error) {
+	rx, err := policy.NewRange(px, v, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: range of %s: %w", px.Name, err)
+	}
+	ry, err := policy.NewRange(py, v, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: range of %s: %w", py.Name, err)
+	}
+	rep := &Report{RangeX: rx.Len(), RangeY: ry.Len()}
+	for _, g := range ry.Rules() {
+		if rx.Contains(g) {
+			rep.Matched = append(rep.Matched, g)
+			continue
+		}
+		rep.Gaps = append(rep.Gaps, Gap{Rule: g, NearMisses: nearMisses(px, g, v)})
+	}
+	rep.Overlap = len(rep.Matched)
+	if rep.RangeY == 0 {
+		rep.Coverage = 1
+	} else {
+		rep.Coverage = float64(rep.Overlap) / float64(rep.RangeY)
+	}
+	return rep, nil
+}
+
+// nearMisses finds the policy rules of px that cover g on all but one
+// attribute.
+func nearMisses(px *policy.Policy, g policy.Rule, v *vocab.Vocabulary) []NearMiss {
+	var out []NearMiss
+	for _, r := range px.Rules() {
+		if r.Len() != g.Len() {
+			continue
+		}
+		var failing []string
+		ok := true
+		for _, t := range r.Terms() {
+			gv, present := g.Value(t.Attr)
+			if !present {
+				ok = false
+				break
+			}
+			if !v.Subsumes(t.Attr, t.Value, gv) {
+				failing = append(failing, t.Attr)
+			}
+		}
+		if ok && len(failing) == 1 {
+			attr := failing[0]
+			allowed, _ := r.Value(attr)
+			actual, _ := g.Value(attr)
+			out = append(out, NearMiss{PolicyRule: r, Attr: attr, Allowed: allowed, Actual: actual})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PolicyRule.Key() < out[j].PolicyRule.Key() })
+	return out
+}
+
+// EntryReport is the outcome of row-level coverage over an audit
+// snapshot. The paper's §5 walk-through counts each audit row ("the
+// ratio of matching rules to total rules ... is now 3/10"), i.e.
+// occurrence (multiset) semantics rather than Definition 8's set
+// semantics; both are provided and they agree when the snapshot has
+// no repeated rows (as in Figure 3).
+type EntryReport struct {
+	Coverage  float64
+	Total     int
+	Covered   int
+	Uncovered []audit.Entry // rows not covered by the policy store
+}
+
+// EntryCoverage computes row-level coverage of the policy store over
+// an audit snapshot.
+func EntryCoverage(ps *policy.Policy, entries []audit.Entry, v *vocab.Vocabulary) (*EntryReport, error) {
+	rg, err := policy.NewRange(ps, v, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: range of %s: %w", ps.Name, err)
+	}
+	rep := &EntryReport{Total: len(entries)}
+	for _, e := range entries {
+		if rg.Contains(e.Rule()) {
+			rep.Covered++
+		} else {
+			rep.Uncovered = append(rep.Uncovered, e)
+		}
+	}
+	if rep.Total == 0 {
+		rep.Coverage = 1
+	} else {
+		rep.Coverage = float64(rep.Covered) / float64(rep.Total)
+	}
+	return rep, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// The paper flags the hardest part of refinement in §4.2: "the
+// problem of separating violations from useful exceptions in an audit
+// trail may require more sophisticated algorithms and even further
+// research". Evidence implements the first such step beyond the
+// COUNT(DISTINCT user) condition: per-pattern behavioural features a
+// reviewer (human or automated) can weigh.
+
+// Evidence summarizes how a pattern manifests in the practice log.
+type Evidence struct {
+	Rule    policy.Rule
+	Support int
+	// UserCounts is the per-user occurrence histogram.
+	UserCounts map[string]int
+	// Concentration is the Herfindahl index of UserCounts in [1/n, 1]:
+	// 1 means a single user accounts for all occurrences (snooping
+	// shape); 1/n means perfectly even spread across n users
+	// (organizational-practice shape).
+	Concentration float64
+	// OffHoursFraction is the share of occurrences outside 06:00–18:00
+	// local clinic time; informal practice follows the working day,
+	// snooping often does not.
+	OffHoursFraction float64
+	// DaysActive counts distinct calendar days with occurrences.
+	DaysActive int
+}
+
+// Suspicion scores the evidence in [0, 1]; higher means more
+// violation-shaped. It combines user concentration and off-hours
+// activity, the two separating features the simulator's ground truth
+// validates (see evidence_test.go).
+func (e Evidence) Suspicion() float64 {
+	s := 0.7*e.Concentration + 0.3*e.OffHoursFraction
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// String renders the evidence compactly.
+func (e Evidence) String() string {
+	return fmt.Sprintf("%s: support=%d users=%d concentration=%.2f offhours=%.2f days=%d suspicion=%.2f",
+		e.Rule.Compact(), e.Support, len(e.UserCounts), e.Concentration, e.OffHoursFraction, e.DaysActive, e.Suspicion())
+}
+
+// GatherEvidence computes the behavioural evidence for a pattern rule
+// over the practice entries (the Filter output). Matching uses the
+// rule's attributes only, so partial rules (mining correlations) work
+// too.
+func GatherEvidence(practice []audit.Entry, rule policy.Rule) Evidence {
+	ev := Evidence{Rule: rule, UserCounts: make(map[string]int)}
+	days := make(map[string]bool)
+	offHours := 0
+	for _, e := range practice {
+		if !entryMatchesRule(e, rule) {
+			continue
+		}
+		ev.Support++
+		ev.UserCounts[vocab.Norm(e.User)]++
+		days[e.Time.UTC().Format("2006-01-02")] = true
+		h := e.Time.Hour()
+		if h < 6 || h >= 18 {
+			offHours++
+		}
+	}
+	ev.DaysActive = len(days)
+	if ev.Support > 0 {
+		ev.OffHoursFraction = float64(offHours) / float64(ev.Support)
+		sumSq := 0.0
+		for _, c := range ev.UserCounts {
+			p := float64(c) / float64(ev.Support)
+			sumSq += p * p
+		}
+		ev.Concentration = sumSq
+	}
+	return ev
+}
+
+// entryMatchesRule reports whether the entry carries every term of
+// the (ground) rule.
+func entryMatchesRule(e audit.Entry, rule policy.Rule) bool {
+	for _, t := range rule.Terms() {
+		v, err := entryAttr(e, t.Attr)
+		if err != nil {
+			return false
+		}
+		if vocab.Norm(v) != vocab.Norm(t.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// AnnotatePatterns attaches evidence to each pattern, sorted by
+// ascending suspicion (safest adoption candidates first).
+func AnnotatePatterns(practice []audit.Entry, patterns []Pattern) []Evidence {
+	out := make([]Evidence, len(patterns))
+	for i, p := range patterns {
+		out[i] = GatherEvidence(practice, p.Rule)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := out[i].Suspicion(), out[j].Suspicion()
+		if math.Abs(si-sj) > 1e-12 {
+			return si < sj
+		}
+		return out[i].Rule.Key() < out[j].Rule.Key()
+	})
+	return out
+}
+
+// SuspicionReviewer builds a Reviewer that adopts low-suspicion
+// patterns, sends mid-range ones to investigation, and rejects
+// clearly violation-shaped ones. practice must be the Filter output
+// of the snapshot the session analyses.
+func SuspicionReviewer(practice []audit.Entry, investigateAt, rejectAt float64) Reviewer {
+	return ReviewerFunc(func(p Pattern) Decision {
+		s := GatherEvidence(practice, p.Rule).Suspicion()
+		switch {
+		case s >= rejectAt:
+			return Reject
+		case s >= investigateAt:
+			return Investigate
+		default:
+			return Adopt
+		}
+	})
+}

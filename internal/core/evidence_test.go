@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/scenario"
+)
+
+func evEntry(at time.Time, user, data, purpose, role string) audit.Entry {
+	return audit.Entry{Time: at, Op: audit.Allow, User: user,
+		Data: data, Purpose: purpose, Authorized: role, Status: audit.Exception}
+}
+
+func TestGatherEvidenceTable1(t *testing.T) {
+	practice := Filter(scenario.Table1())
+	ev := GatherEvidence(practice, scenario.RefinementPattern())
+	if ev.Support != 5 || len(ev.UserCounts) != 3 {
+		t.Fatalf("evidence = %+v", ev)
+	}
+	// Mark 3, Tim 1, Bob 1 → HHI = (3/5)^2 + (1/5)^2 + (1/5)^2 = 0.44.
+	if ev.Concentration < 0.43 || ev.Concentration > 0.45 {
+		t.Errorf("concentration = %v", ev.Concentration)
+	}
+	if ev.OffHoursFraction != 0 { // t3..t10 are 10:00–17:00
+		t.Errorf("off hours = %v", ev.OffHoursFraction)
+	}
+	if ev.DaysActive != 1 {
+		t.Errorf("days = %d", ev.DaysActive)
+	}
+	if s := ev.String(); !strings.Contains(s, "suspicion=") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSuspicionSeparatesShapes(t *testing.T) {
+	base := time.Date(2007, 3, 5, 0, 0, 0, 0, time.UTC)
+	var practice []audit.Entry
+	// Organizational habit: many users, working hours.
+	for i := 0; i < 20; i++ {
+		practice = append(practice, evEntry(
+			base.Add(time.Duration(9+i%8)*time.Hour+time.Duration(i)*24*time.Hour/4),
+			[]string{"a", "b", "c", "d", "e"}[i%5],
+			"referral", "registration", "nurse"))
+	}
+	// Snooping: one user, mostly at night.
+	for i := 0; i < 10; i++ {
+		practice = append(practice, evEntry(
+			base.Add(time.Duration(23)*time.Hour+time.Duration(i)*24*time.Hour),
+			"eve", "psychiatry", "research", "clerk"))
+	}
+	habit := GatherEvidence(practice, policy.MustRule(
+		policy.T("data", "referral"), policy.T("purpose", "registration"), policy.T("authorized", "nurse")))
+	snoop := GatherEvidence(practice, policy.MustRule(
+		policy.T("data", "psychiatry"), policy.T("purpose", "research"), policy.T("authorized", "clerk")))
+	if habit.Suspicion() >= 0.4 {
+		t.Errorf("habit suspicion = %v, want low (%+v)", habit.Suspicion(), habit)
+	}
+	if snoop.Suspicion() <= 0.8 {
+		t.Errorf("snoop suspicion = %v, want high (%+v)", snoop.Suspicion(), snoop)
+	}
+	if snoop.Concentration != 1 || snoop.OffHoursFraction != 1 {
+		t.Errorf("snoop features: %+v", snoop)
+	}
+}
+
+func TestAnnotatePatternsSorted(t *testing.T) {
+	base := time.Date(2007, 3, 5, 0, 0, 0, 0, time.UTC)
+	var practice []audit.Entry
+	for i := 0; i < 6; i++ {
+		practice = append(practice, evEntry(base.Add(time.Duration(10+i%4)*time.Hour),
+			[]string{"a", "b", "c"}[i%3], "referral", "registration", "nurse"))
+		practice = append(practice, evEntry(base.Add(time.Duration(2)*time.Hour),
+			"eve", "psychiatry", "research", "clerk"))
+	}
+	patterns := []Pattern{
+		{Rule: policy.MustRule(policy.T("data", "psychiatry"), policy.T("purpose", "research"), policy.T("authorized", "clerk"))},
+		{Rule: policy.MustRule(policy.T("data", "referral"), policy.T("purpose", "registration"), policy.T("authorized", "nurse"))},
+	}
+	evs := AnnotatePatterns(practice, patterns)
+	if len(evs) != 2 {
+		t.Fatal("missing evidence")
+	}
+	if evs[0].Suspicion() > evs[1].Suspicion() {
+		t.Errorf("not sorted by suspicion: %v then %v", evs[0].Suspicion(), evs[1].Suspicion())
+	}
+	if d, _ := evs[0].Rule.Value("data"); d != "referral" {
+		t.Errorf("safest first: got %v", evs[0].Rule)
+	}
+}
+
+func TestSuspicionReviewerEndToEnd(t *testing.T) {
+	// A correlated cross-user violation that the distinct-user
+	// condition would adopt: night-time psychiatry browsing by two
+	// colluding users. The suspicion reviewer sends it to
+	// investigation instead, while the daytime habit is adopted.
+	base := time.Date(2007, 3, 5, 0, 0, 0, 0, time.UTC)
+	var entries []audit.Entry
+	for i := 0; i < 8; i++ {
+		entries = append(entries, evEntry(
+			base.Add(time.Duration(i)*24*time.Hour+10*time.Hour),
+			[]string{"a", "b", "c", "d"}[i%4], "referral", "registration", "nurse"))
+	}
+	for i := 0; i < 6; i++ {
+		entries = append(entries, evEntry(
+			base.Add(time.Duration(i)*24*time.Hour+23*time.Hour),
+			[]string{"eve", "mallory"}[i%2], "psychiatry", "research", "clerk"))
+	}
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	sess := NewSession(ps, v, Options{MinSupport: 4})
+	reviewer := SuspicionReviewer(Filter(entries), 0.5, 0.9)
+	round, err := sess.Run(entries, reviewer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Adopted) != 1 {
+		t.Fatalf("adopted = %v", round.Adopted)
+	}
+	if d, _ := round.Adopted[0].Value("data"); d != "referral" {
+		t.Errorf("adopted the wrong rule: %v", round.Adopted)
+	}
+	if len(round.Investigating)+len(round.Rejected) != 1 {
+		t.Errorf("violation not flagged: %+v", round)
+	}
+}
+
+func TestGatherEvidenceEmpty(t *testing.T) {
+	ev := GatherEvidence(nil, scenario.RefinementPattern())
+	if ev.Support != 0 || ev.Suspicion() != 0 || ev.Concentration != 0 {
+		t.Errorf("empty evidence = %+v", ev)
+	}
+}

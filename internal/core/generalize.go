@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// Generalization addresses the paper's first stated benefit of
+// refinement — "improving the design of the policies" (§1) — from the
+// other direction: refinement adopts *ground* rules one at a time, so
+// after a few rounds the policy store accumulates sibling rules that
+// a policy author would have written as one composite rule. Generalize
+// rewrites the store into an equivalent, smaller policy:
+//
+//   - lift: if a rule's value can be replaced by its vocabulary
+//     parent without enlarging the policy's range (every ground rule
+//     the lift adds is already in the range), do so;
+//   - prune: drop rules whose entire range is contributed by the
+//     remaining rules.
+//
+// Both steps preserve Range(P) exactly (verified by the property
+// tests), so coverage of and by the policy is unchanged.
+
+// GeneralizeResult reports what a generalization pass did.
+type GeneralizeResult struct {
+	Policy      *policy.Policy // the rewritten policy (new instance)
+	Lifted      int            // value-to-parent replacements applied
+	Removed     int            // redundant rules dropped
+	RulesBefore int
+	RulesAfter  int
+	RangeSize   int // unchanged range cardinality, as a sanity anchor
+}
+
+// Generalize rewrites ps into an equivalent minimal-ish policy over v.
+// The input policy is not modified.
+func Generalize(ps *policy.Policy, v *vocab.Vocabulary) (*GeneralizeResult, error) {
+	target, err := policy.NewRange(ps, v, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: range of %s: %w", ps.Name, err)
+	}
+	res := &GeneralizeResult{RulesBefore: ps.Len(), RangeSize: target.Len()}
+
+	work := append([]policy.Rule(nil), ps.Rules()...)
+
+	// Lift values to parents while the range stays within target.
+	changed := true
+	for changed {
+		changed = false
+		for i, r := range work {
+			lifted, ok, err := liftOnce(r, v, target)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				work[i] = lifted
+				res.Lifted++
+				changed = true
+			}
+		}
+	}
+
+	// Deduplicate after lifting (sibling rules often lift to the same
+	// composite rule).
+	dedup := policy.New(ps.Name)
+	for _, r := range work {
+		dedup.Add(r)
+	}
+	work = append(work[:0], dedup.Rules()...)
+
+	// Prune rules whose range is covered by the others. Consider
+	// bigger contributors last so specific leftovers are dropped in
+	// favour of the lifted composites.
+	sort.SliceStable(work, func(i, j int) bool {
+		return rangeSize(work[i], v) > rangeSize(work[j], v)
+	})
+	kept := policy.New(ps.Name)
+	for i, r := range work {
+		others := policy.New("others")
+		for _, k := range kept.Rules() {
+			others.Add(k)
+		}
+		for _, later := range work[i+1:] {
+			others.Add(later)
+		}
+		orange, err := policy.NewRange(others, v, 0)
+		if err != nil {
+			return nil, err
+		}
+		grounds, truncated := r.Groundings(v, policy.DefaultRangeLimit)
+		if truncated {
+			return nil, fmt.Errorf("core: rule %s expands beyond the range limit", r)
+		}
+		redundant := true
+		for _, g := range grounds {
+			if !orange.Contains(g) {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			res.Removed++
+			continue
+		}
+		kept.Add(r)
+	}
+
+	// Sanity: the rewritten policy has the identical range.
+	after, err := policy.NewRange(kept, v, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(after.Keys()) != len(target.Keys()) {
+		return nil, fmt.Errorf("core: generalization changed the range (%d -> %d ground rules); this is a bug",
+			target.Len(), after.Len())
+	}
+	for _, k := range target.Rules() {
+		if !after.Contains(k) {
+			return nil, fmt.Errorf("core: generalization lost ground rule %s; this is a bug", k)
+		}
+	}
+
+	res.Policy = kept
+	res.RulesAfter = kept.Len()
+	return res, nil
+}
+
+// liftOnce tries to replace one term's value with its parent such
+// that the lifted rule's range stays inside target. It returns the
+// first applicable lift (deterministic order).
+func liftOnce(r policy.Rule, v *vocab.Vocabulary, target *policy.Range) (policy.Rule, bool, error) {
+	for _, t := range r.Terms() {
+		h := v.Hierarchy(t.Attr)
+		if h == nil {
+			continue
+		}
+		node := h.Node(t.Value)
+		if node == nil || node.Parent() == nil {
+			continue
+		}
+		parent := node.Parent().Value()
+		terms := make([]policy.Term, 0, r.Len())
+		for _, u := range r.Terms() {
+			if u == t {
+				terms = append(terms, policy.T(u.Attr, parent))
+			} else {
+				terms = append(terms, u)
+			}
+		}
+		lifted, err := policy.NewRule(terms...)
+		if err != nil {
+			return policy.Rule{}, false, err
+		}
+		grounds, truncated := lifted.Groundings(v, policy.DefaultRangeLimit)
+		if truncated {
+			continue // too wide to verify; leave as is
+		}
+		within := true
+		for _, g := range grounds {
+			if !target.Contains(g) {
+				within = false
+				break
+			}
+		}
+		if within {
+			return lifted, true, nil
+		}
+	}
+	return policy.Rule{}, false, nil
+}
+
+func rangeSize(r policy.Rule, v *vocab.Vocabulary) int {
+	n := 1
+	for _, t := range r.Terms() {
+		n *= len(v.GroundSet(t.Attr, t.Value))
+	}
+	return n
+}

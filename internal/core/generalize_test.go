@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/scenario"
+	"repro/internal/vocab"
+)
+
+func mk3(d, p, a string) policy.Rule {
+	return policy.MustRule(policy.T("data", d), policy.T("purpose", p), policy.T("authorized", a))
+}
+
+func TestGeneralizeLiftsSiblings(t *testing.T) {
+	v := scenario.Vocabulary()
+	// All four demographic leaves, adopted one by one.
+	ps := policy.New("PS")
+	for _, d := range []string{"address", "gender", "phone", "birthdate"} {
+		ps.Add(mk3(d, "billing", "clerk"))
+	}
+	res, err := Generalize(ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RulesAfter != 1 {
+		t.Fatalf("rules after = %d, want 1: %v", res.RulesAfter, res.Policy)
+	}
+	got := res.Policy.Rules()[0]
+	if d, _ := got.Value("data"); vocab.Norm(d) != "demographic" {
+		t.Errorf("lifted rule = %s, want data=demographic", got)
+	}
+	if res.Lifted == 0 {
+		t.Error("no lifts recorded")
+	}
+}
+
+func TestGeneralizeDoesNotOverreach(t *testing.T) {
+	v := scenario.Vocabulary()
+	// Three of four demographic leaves: lifting to demographic would
+	// add birthdate, so it must NOT lift.
+	ps := policy.New("PS")
+	for _, d := range []string{"address", "gender", "phone"} {
+		ps.Add(mk3(d, "billing", "clerk"))
+	}
+	res, err := Generalize(ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RulesAfter != 3 || res.Lifted != 0 {
+		t.Fatalf("over-generalized: %+v %v", res, res.Policy)
+	}
+}
+
+func TestGeneralizeMultiLevel(t *testing.T) {
+	v := scenario.Vocabulary()
+	// All clinical leaves: general{prescription, referral, lab_result}
+	// and mental_health{psychiatry, counseling} lift level by level to
+	// data=clinical.
+	ps := policy.New("PS")
+	for _, d := range v.GroundSet("data", "clinical") {
+		ps.Add(mk3(d, "treatment", "nurse"))
+	}
+	res, err := Generalize(ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RulesAfter != 1 {
+		t.Fatalf("rules = %v", res.Policy)
+	}
+	if d, _ := res.Policy.Rules()[0].Value("data"); vocab.Norm(d) != "clinical" {
+		t.Errorf("lifted to %q, want clinical", d)
+	}
+}
+
+func TestGeneralizeCollapsesSubsumedRule(t *testing.T) {
+	v := scenario.Vocabulary()
+	ps := policy.New("PS")
+	ps.Add(mk3("demographic", "billing", "clerk")) // composite
+	ps.Add(mk3("address", "billing", "clerk"))     // subsumed ground rule
+	res, err := Generalize(ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whether by lifting address up to demographic and deduplicating
+	// or by pruning the subsumed rule, exactly the composite remains.
+	if res.RulesAfter != 1 {
+		t.Fatalf("res = %+v: %v", res, res.Policy)
+	}
+	if d, _ := res.Policy.Rules()[0].Value("data"); vocab.Norm(d) != "demographic" {
+		t.Errorf("kept rule = %s", res.Policy.Rules()[0])
+	}
+}
+
+func TestGeneralizePreservesCoverage(t *testing.T) {
+	// The §5 flow plus generalization: adopt the Table 1 pattern,
+	// generalize, and verify row coverage is untouched.
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	ps.Add(scenario.RefinementPattern())
+	before, err := EntryCoverage(ps, scenario.Table1(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generalize(ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := EntryCoverage(res.Policy, scenario.Table1(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Coverage != after.Coverage {
+		t.Errorf("coverage changed: %v -> %v", before.Coverage, after.Coverage)
+	}
+	if res.RulesAfter > res.RulesBefore {
+		t.Errorf("generalization grew the policy: %+v", res)
+	}
+}
+
+// Property: for random ground policies, Generalize preserves the range
+// exactly and never increases the rule count. Idempotence: a second
+// pass changes nothing.
+func TestGeneralizeRangePreservationProperty(t *testing.T) {
+	v := scenario.Vocabulary()
+	dataVals := v.Hierarchy("data").Leaves()
+	purposeVals := v.Hierarchy("purpose").Leaves()
+	roleVals := v.Hierarchy("authorized").Leaves()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		ps := policy.New("PS")
+		n := 1 + rng.Intn(14)
+		for i := 0; i < n; i++ {
+			ps.Add(mk3(
+				dataVals[rng.Intn(len(dataVals))],
+				purposeVals[rng.Intn(len(purposeVals))],
+				roleVals[rng.Intn(len(roleVals))],
+			))
+		}
+		want, err := policy.NewRange(ps, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Generalize(ps, v)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := policy.NewRange(res.Policy, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Keys(), got.Keys()) {
+			t.Fatalf("trial %d: range changed\nbefore: %v\nafter: %v", trial, want.Keys(), got.Keys())
+		}
+		if res.RulesAfter > res.RulesBefore {
+			t.Fatalf("trial %d: rule count grew: %+v", trial, res)
+		}
+		res2, err := Generalize(res.Policy, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Lifted != 0 || res2.Removed != 0 {
+			t.Fatalf("trial %d: not idempotent: %+v", trial, res2)
+		}
+	}
+}
+
+func TestGeneralizeEmptyPolicy(t *testing.T) {
+	v := scenario.Vocabulary()
+	res, err := Generalize(policy.New("PS"), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RulesAfter != 0 || res.Policy.Len() != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestGeneralizeLeavesInputUntouched(t *testing.T) {
+	v := scenario.Vocabulary()
+	ps := policy.New("PS")
+	for _, d := range []string{"address", "gender", "phone", "birthdate"} {
+		ps.Add(mk3(d, "billing", "clerk"))
+	}
+	if _, err := Generalize(ps, v); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() != 4 {
+		t.Errorf("input policy mutated: %d rules", ps.Len())
+	}
+}

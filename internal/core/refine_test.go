@@ -1,0 +1,274 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/scenario"
+)
+
+// TestUseCaseTable1 walks the paper's §5 use case end to end:
+// Filter keeps the seven exception rows, extraction finds exactly
+// Referral:Registration:Nurse (support 5, 3 distinct users), Prune
+// keeps it, and adopting it lifts coverage from 30 % to 80 %.
+func TestUseCaseTable1(t *testing.T) {
+	for _, ex := range []struct {
+		name string
+		x    PatternExtractor
+	}{
+		{"sql", SQLExtractor{}},
+		{"native", NativeExtractor{}},
+	} {
+		t.Run(ex.name, func(t *testing.T) {
+			v := scenario.Vocabulary()
+			ps := scenario.PolicyStore()
+			entries := scenario.Table1()
+
+			practice := Filter(entries)
+			if len(practice) != scenario.Table1PracticeSize {
+				t.Fatalf("practice = %d rows, want %d", len(practice), scenario.Table1PracticeSize)
+			}
+
+			patterns, err := Refinement(ps, entries, v, Options{Extractor: ex.x})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(patterns) != 1 {
+				t.Fatalf("patterns = %v, want exactly one", patterns)
+			}
+			p := patterns[0]
+			if p.Rule.Key() != scenario.RefinementPattern().Key() {
+				t.Errorf("pattern = %s, want Referral:Registration:Nurse", p.Rule)
+			}
+			if p.Support != scenario.RefinementSupport || p.DistinctUsers != scenario.RefinementDistinctUsers {
+				t.Errorf("support/users = %d/%d, want %d/%d",
+					p.Support, p.DistinctUsers, scenario.RefinementSupport, scenario.RefinementDistinctUsers)
+			}
+			// Evidence window: t3 through t10.
+			if !p.FirstSeen.Equal(scenario.Table1Base.Add(2 * time.Hour)) {
+				t.Errorf("first seen = %v", p.FirstSeen)
+			}
+			if !p.LastSeen.Equal(scenario.Table1Base.Add(9 * time.Hour)) {
+				t.Errorf("last seen = %v", p.LastSeen)
+			}
+
+			// Adopt and re-measure.
+			ps.Add(p.Rule)
+			rep, err := EntryCoverage(ps, entries, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(rep.Coverage, scenario.Table1PostAdoptionCoverage) {
+				t.Errorf("post-adoption coverage = %v, want %v", rep.Coverage, scenario.Table1PostAdoptionCoverage)
+			}
+		})
+	}
+}
+
+func TestFilterKeepsExactlyExceptions(t *testing.T) {
+	entries := scenario.Table1()
+	// Add a denied attempt: a prohibition that Filter must drop even
+	// though it is exception-flagged.
+	denied := entries[0]
+	denied.Op = audit.Deny
+	denied.Status = audit.Exception
+	denied.User = "Eve"
+	entries = append(entries, denied)
+
+	practice := Filter(entries)
+	if len(practice) != scenario.Table1PracticeSize {
+		t.Fatalf("practice = %d, want %d", len(practice), scenario.Table1PracticeSize)
+	}
+	for _, e := range practice {
+		if e.Status != audit.Exception || e.Op != audit.Allow {
+			t.Errorf("non-practice row survived: %v", e)
+		}
+	}
+	if got := Filter(nil); got != nil {
+		t.Errorf("Filter(nil) = %v", got)
+	}
+}
+
+func TestStrictGreaterMatchesAlgorithm5Literal(t *testing.T) {
+	// With the literal COUNT(*) > 5 comparator the Table 1 pattern
+	// (exactly 5 occurrences) is NOT found — the discrepancy noted in
+	// DESIGN.md.
+	v := scenario.Vocabulary()
+	patterns, err := Refinement(scenario.PolicyStore(), scenario.Table1(), v, Options{StrictGreater: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 0 {
+		t.Errorf("strict comparator found %v", patterns)
+	}
+}
+
+func TestDistinctUserCondition(t *testing.T) {
+	// Raising c beyond the pattern's 3 users suppresses it.
+	v := scenario.Vocabulary()
+	patterns, err := Refinement(scenario.PolicyStore(), scenario.Table1(), v, Options{MinDistinctUsers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 0 {
+		t.Errorf("c=4 found %v", patterns)
+	}
+	// A single-user pattern must be ignored entirely (lone-wolf
+	// snooping is not informal practice).
+	entries := scenario.Table1()[:0:0]
+	base := scenario.Table1Base
+	for i := 0; i < 10; i++ {
+		entries = append(entries, audit.Entry{
+			Time: base.Add(time.Duration(i) * time.Minute), Op: audit.Allow, User: "Eve",
+			Data: "Psychiatry", Purpose: "Research", Authorized: "Clerk", Status: audit.Exception,
+		})
+	}
+	patterns, err = Refinement(scenario.PolicyStore(), entries, v, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 0 {
+		t.Errorf("single-user pattern surfaced: %v", patterns)
+	}
+}
+
+func TestPruneRemovesCoveredPatterns(t *testing.T) {
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	covered := Pattern{Rule: policy.MustRule(
+		policy.T("data", "referral"), policy.T("purpose", "treatment"), policy.T("authorized", "nurse"))}
+	novel := Pattern{Rule: scenario.RefinementPattern()}
+	out, err := Prune([]Pattern{covered, novel}, ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Rule.Key() != novel.Rule.Key() {
+		t.Errorf("Prune = %v", out)
+	}
+}
+
+// Property: Prune output is disjoint from Range(P_PS).
+func TestPruneDisjointProperty(t *testing.T) {
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	rg, err := policy.NewRange(ps, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build patterns from every ground rule over small value sets.
+	var patterns []Pattern
+	for _, d := range []string{"referral", "psychiatry", "address", "prescription"} {
+		for _, p := range []string{"treatment", "registration", "billing"} {
+			for _, a := range []string{"nurse", "clerk", "psychiatrist"} {
+				patterns = append(patterns, Pattern{Rule: policy.MustRule(
+					policy.T("data", d), policy.T("purpose", p), policy.T("authorized", a))})
+			}
+		}
+	}
+	out, err := Prune(patterns, ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || len(out) == len(patterns) {
+		t.Fatalf("prune kept %d of %d; fixture mis-built", len(out), len(patterns))
+	}
+	for _, p := range out {
+		if rg.Contains(p.Rule) {
+			t.Errorf("pruned output %s is in Range(P_PS)", p.Rule)
+		}
+	}
+}
+
+func TestExtractorsAgree(t *testing.T) {
+	// Differential property: the SQL and native extractors produce
+	// identical pattern sets on the same input.
+	entries := scenario.Table1()
+	for _, opts := range []Options{
+		{},
+		{MinSupport: 1, MinDistinctUsers: 1},
+		{MinSupport: 2},
+		{Attrs: []string{"data", "purpose"}},
+		{Attrs: []string{"authorized"}, MinSupport: 3},
+		{Attrs: []string{"data", "purpose", "authorized", "user"}, MinSupport: 1, MinDistinctUsers: 1},
+	} {
+		sqlPats, err := ExtractPatterns(Filter(entries), withExtractor(opts, SQLExtractor{}))
+		if err != nil {
+			t.Fatalf("sql %+v: %v", opts, err)
+		}
+		natPats, err := ExtractPatterns(Filter(entries), withExtractor(opts, NativeExtractor{}))
+		if err != nil {
+			t.Fatalf("native %+v: %v", opts, err)
+		}
+		if !reflect.DeepEqual(patternSet(sqlPats), patternSet(natPats)) {
+			t.Errorf("opts %+v: extractors disagree:\nsql: %v\nnative: %v", opts, sqlPats, natPats)
+		}
+	}
+}
+
+func withExtractor(o Options, x PatternExtractor) Options {
+	o.Extractor = x
+	return o
+}
+
+func patternSet(ps []Pattern) map[string]Pattern {
+	out := make(map[string]Pattern, len(ps))
+	for _, p := range ps {
+		out[p.Rule.Key()] = p
+	}
+	return out
+}
+
+func TestExtractPatternsBadAttrs(t *testing.T) {
+	if _, err := ExtractPatterns(nil, Options{Attrs: []string{"nosuch"}}); err == nil {
+		t.Error("invalid attribute accepted")
+	}
+	if _, err := ExtractPatterns(nil, Options{Attrs: []string{"data", "Data"}}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	// time is stored but not groupable.
+	if _, err := ExtractPatterns(nil, Options{Attrs: []string{"time"}}); err == nil {
+		t.Error("time attribute accepted")
+	}
+}
+
+func TestBuildStatementShape(t *testing.T) {
+	sql := SQLExtractor{}.BuildStatement(Options{})
+	for _, want := range []string{
+		"GROUP BY data, purpose, authorized",
+		"HAVING COUNT(*) >= 5",
+		"COUNT(DISTINCT user) > 1",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("statement missing %q:\n%s", want, sql)
+		}
+	}
+	strict := SQLExtractor{}.BuildStatement(Options{StrictGreater: true, MinSupport: 7})
+	if !strings.Contains(strict, "COUNT(*) > 7") {
+		t.Errorf("strict statement: %s", strict)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MinSupport != 5 || o.MinDistinctUsers != 2 {
+		t.Errorf("defaults = %+v (paper: f=5, c=COUNT(DISTINCT user)>1)", o)
+	}
+	if !reflect.DeepEqual(o.Attrs, DefaultAttrs) {
+		t.Errorf("default attrs = %v", o.Attrs)
+	}
+	if o.Extractor == nil {
+		t.Error("no default extractor")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern{Rule: scenario.RefinementPattern(), Support: 5, DistinctUsers: 3}
+	s := p.String()
+	if !strings.Contains(s, "support 5") || !strings.Contains(s, "3 users") {
+		t.Errorf("Pattern.String() = %q", s)
+	}
+}

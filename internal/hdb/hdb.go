@@ -1,0 +1,569 @@
+// Package hdb implements the Hippocratic Database components PRIMA
+// builds on (paper §4.1, Figures 4–5): Active Enforcement — a
+// middleware layer that rewrites user queries so that "only data
+// consistent with policy and patient preferences is returned" — and
+// Compliance Auditing — the automatic generation of an audit entry,
+// in the paper's schema, for every request, including the
+// break-the-glass path that records exception-based access.
+//
+// The IBM HDB products are closed; this package reproduces their
+// contract over the minidb engine (see DESIGN.md, substitution
+// table).
+package hdb
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/consent"
+	"repro/internal/minidb"
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// Principal identifies the requesting user and their authorization
+// category (role).
+type Principal struct {
+	User string
+	Role string
+}
+
+// Validate reports missing identity fields.
+func (p Principal) Validate() error {
+	if strings.TrimSpace(p.User) == "" || strings.TrimSpace(p.Role) == "" {
+		return fmt.Errorf("hdb: principal needs both user and role")
+	}
+	return nil
+}
+
+// TableMapping declares how a clinical table maps onto the privacy
+// vocabulary: which column identifies the patient and which data
+// category each column carries. Columns without a category (ids,
+// timestamps) are exempt from policy checks.
+type TableMapping struct {
+	Table      string
+	PatientCol string            // empty when the table holds no patient data
+	Categories map[string]string // column name -> data category
+}
+
+// ErrDenied is returned when policy forbids the access; the caller
+// may retry through BreakGlass, which is exactly the workflow the
+// paper's exception-based access describes.
+var ErrDenied = errors.New("hdb: access denied by policy")
+
+// Enforcer is the Active Enforcement + Compliance Auditing middleware
+// in front of a minidb database.
+type Enforcer struct {
+	db      *minidb.Database
+	ps      *policy.Policy
+	v       *vocab.Vocabulary
+	consent *consent.Store
+	log     *audit.Log
+	clock   func() time.Time
+
+	mu       sync.RWMutex
+	mappings map[string]*TableMapping // lower(table) -> mapping
+	strict   bool                     // reject out-of-vocabulary purposes and roles
+
+	rangeMu    sync.Mutex
+	rangeFP    uint64
+	rangeCache *policy.Range
+}
+
+// New builds an enforcer. The policy store is held by reference:
+// rules adopted by refinement become effective on the next query.
+// consent may be nil (no consent filtering); log may be nil (no
+// auditing) although a PRIMA deployment always audits.
+func New(db *minidb.Database, ps *policy.Policy, v *vocab.Vocabulary, cs *consent.Store, log *audit.Log) *Enforcer {
+	return &Enforcer{
+		db: db, ps: ps, v: v, consent: cs, log: log,
+		clock:    time.Now,
+		mappings: make(map[string]*TableMapping),
+	}
+}
+
+// SetClock overrides the audit timestamp source; tests and the
+// workflow simulator use it for deterministic logs.
+func (e *Enforcer) SetClock(clock func() time.Time) { e.clock = clock }
+
+// SetStrictVocabulary toggles strict mode: when on, queries carrying
+// a purpose or role unknown to the vocabulary are rejected outright.
+// Strict mode keeps the audit log analyzable — refinement groups by
+// these values — at the cost of refusing misconfigured clients.
+func (e *Enforcer) SetStrictVocabulary(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.strict = on
+}
+
+// checkVocabulary enforces strict mode for a principal and purpose.
+func (e *Enforcer) checkVocabulary(p Principal, purpose string) error {
+	e.mu.RLock()
+	strict := e.strict
+	e.mu.RUnlock()
+	if !strict {
+		return nil
+	}
+	if h := e.v.Hierarchy("purpose"); h != nil && !h.Contains(purpose) {
+		return fmt.Errorf("hdb: purpose %q is not in the vocabulary", purpose)
+	}
+	if h := e.v.Hierarchy("authorized"); h != nil && !h.Contains(p.Role) {
+		return fmt.Errorf("hdb: role %q is not in the vocabulary", p.Role)
+	}
+	return nil
+}
+
+// DB exposes the underlying database for administrative paths
+// (loading fixtures); application reads must go through Query.
+func (e *Enforcer) DB() *minidb.Database { return e.db }
+
+// Policy returns the enforced policy store.
+func (e *Enforcer) Policy() *policy.Policy { return e.ps }
+
+// AuditLog returns the compliance audit log (nil when unaudited).
+func (e *Enforcer) AuditLog() *audit.Log { return e.log }
+
+// RegisterTable validates and installs a table mapping.
+func (e *Enforcer) RegisterTable(m TableMapping) error {
+	tbl, err := e.db.Table(m.Table)
+	if err != nil {
+		return err
+	}
+	cols := make(map[string]bool)
+	for _, c := range tbl.Columns() {
+		cols[strings.ToLower(c.Name)] = true
+	}
+	if m.PatientCol != "" && !cols[strings.ToLower(m.PatientCol)] {
+		return fmt.Errorf("hdb: table %q has no patient column %q", m.Table, m.PatientCol)
+	}
+	norm := &TableMapping{
+		Table:      m.Table,
+		PatientCol: strings.ToLower(m.PatientCol),
+		Categories: make(map[string]string, len(m.Categories)),
+	}
+	for col, cat := range m.Categories {
+		lc := strings.ToLower(col)
+		if !cols[lc] {
+			return fmt.Errorf("hdb: table %q has no column %q", m.Table, col)
+		}
+		if h := e.v.Hierarchy("data"); h != nil && !h.Contains(cat) {
+			return fmt.Errorf("hdb: data category %q is not in the vocabulary", cat)
+		}
+		norm.Categories[lc] = cat
+	}
+	e.mu.Lock()
+	e.mappings[strings.ToLower(m.Table)] = norm
+	e.mu.Unlock()
+	return nil
+}
+
+// Mappings returns the registered table mappings, sorted by table
+// name; used for system snapshots.
+func (e *Enforcer) Mappings() []TableMapping {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]TableMapping, 0, len(e.mappings))
+	for _, m := range e.mappings {
+		cp := TableMapping{Table: m.Table, PatientCol: m.PatientCol, Categories: make(map[string]string, len(m.Categories))}
+		for k, v := range m.Categories {
+			cp.Categories[k] = v
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return strings.ToLower(out[i].Table) < strings.ToLower(out[j].Table) })
+	return out
+}
+
+func (e *Enforcer) mapping(table string) (*TableMapping, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if m, ok := e.mappings[strings.ToLower(table)]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("hdb: table %q is not registered for enforcement", table)
+}
+
+// policyRange returns the (cached) ground range of the policy store,
+// recomputed when the store's rule set changes.
+func (e *Enforcer) policyRange() (*policy.Range, error) {
+	h := fnv.New64a()
+	for _, r := range e.ps.Rules() {
+		_, _ = h.Write([]byte(r.Key()))
+		_, _ = h.Write([]byte{0})
+	}
+	fp := h.Sum64()
+	e.rangeMu.Lock()
+	defer e.rangeMu.Unlock()
+	if e.rangeCache != nil && e.rangeFP == fp {
+		return e.rangeCache, nil
+	}
+	rg, err := policy.NewRange(e.ps, e.v, 0)
+	if err != nil {
+		return nil, err
+	}
+	e.rangeCache = rg
+	e.rangeFP = fp
+	return rg, nil
+}
+
+// allowed checks (data category, purpose, role) against the policy
+// store range. Composite runtime values are handled by requiring all
+// their ground rules to be present.
+func (e *Enforcer) allowed(rg *policy.Range, category, purpose, role string) bool {
+	rule := policy.MustRule(
+		policy.T("data", category),
+		policy.T("purpose", purpose),
+		policy.T("authorized", role),
+	)
+	grounds, truncated := rule.Groundings(e.v, policy.DefaultRangeLimit)
+	if truncated {
+		return false
+	}
+	for _, g := range grounds {
+		if !rg.Contains(g) {
+			return false
+		}
+	}
+	return true
+}
+
+// Access describes the outcome of one enforced query.
+type Access struct {
+	Categories []string // data categories the query touched
+	Masked     []string // output columns nulled by policy
+	Denied     []string // categories that caused denial (non-output use)
+	OptedOut   int      // patients excluded by consent
+	Exception  bool     // break-the-glass path
+	Entries    []audit.Entry
+}
+
+// Query enforces policy and consent on a SELECT statement, executes
+// the rewritten query, and audits the access (status 1, regular).
+//
+// Enforcement semantics:
+//   - output columns whose category the policy denies for
+//     (purpose, role) are masked to NULL;
+//   - denied categories used outside the output (WHERE, GROUP BY,
+//     HAVING, ORDER BY) reject the whole query with ErrDenied, since
+//     filtering on a forbidden category would leak it;
+//   - if every categorized output column is denied the query is
+//     rejected with ErrDenied;
+//   - rows of patients whose consent excludes any accessed category
+//     for this purpose are filtered out by rewriting WHERE.
+func (e *Enforcer) Query(p Principal, purpose, sql string) (*minidb.Result, *Access, error) {
+	return e.run(p, purpose, "", sql, false)
+}
+
+// BreakGlass executes the query bypassing policy and consent — the
+// exception-based access path — and audits it with status 0 and the
+// mandatory reason.
+func (e *Enforcer) BreakGlass(p Principal, purpose, reason, sql string) (*minidb.Result, *Access, error) {
+	if strings.TrimSpace(reason) == "" {
+		return nil, nil, fmt.Errorf("hdb: break-glass access requires a reason")
+	}
+	return e.run(p, purpose, reason, sql, true)
+}
+
+func (e *Enforcer) run(p Principal, purpose, reason, sql string, breakGlass bool) (*minidb.Result, *Access, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if strings.TrimSpace(purpose) == "" {
+		return nil, nil, fmt.Errorf("hdb: a purpose is required (HIPAA purpose specification)")
+	}
+	if err := e.checkVocabulary(p, purpose); err != nil {
+		return nil, nil, err
+	}
+	st, err := minidb.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*minidb.SelectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("hdb: only SELECT statements pass through enforcement")
+	}
+	if len(sel.Joins) > 0 {
+		return nil, nil, fmt.Errorf("hdb: joins are not supported under enforcement; query one registered table at a time")
+	}
+	m, err := e.mapping(sel.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := e.db.Table(sel.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Expand * so per-column decisions are possible.
+	expandStar(sel, tbl)
+
+	outCols := columnsOf(selectExprs(sel))
+	otherCols := columnsOf(nonOutputExprs(sel))
+
+	outCats := categoriesOf(outCols, m)
+	otherCats := categoriesOf(otherCols, m)
+
+	allCats := union(outCats, otherCats)
+	acc := &Access{Categories: allCats, Exception: breakGlass}
+
+	if !breakGlass {
+		rg, err := e.policyRange()
+		if err != nil {
+			return nil, nil, err
+		}
+		// Non-output use of a denied category rejects the query.
+		for _, cat := range otherCats {
+			if !e.allowed(rg, cat, purpose, p.Role) {
+				acc.Denied = append(acc.Denied, cat)
+			}
+		}
+		if len(acc.Denied) > 0 {
+			e.audit(p, purpose, reason, acc, audit.Deny, acc.Denied)
+			return nil, acc, fmt.Errorf("%w: %s not permitted for %s by %s",
+				ErrDenied, strings.Join(acc.Denied, ", "), purpose, p.Role)
+		}
+		// Mask denied output columns.
+		deniedOut := map[string]bool{}
+		for _, cat := range outCats {
+			if !e.allowed(rg, cat, purpose, p.Role) {
+				deniedOut[cat] = true
+			}
+		}
+		if len(deniedOut) > 0 {
+			masked, kept := maskColumns(sel, m, deniedOut)
+			acc.Masked = masked
+			if kept == 0 {
+				cats := keys(deniedOut)
+				e.audit(p, purpose, reason, acc, audit.Deny, cats)
+				return nil, acc, fmt.Errorf("%w: no permitted columns remain for %s by %s",
+					ErrDenied, purpose, p.Role)
+			}
+		}
+		// Consent filtering over the categories actually returned.
+		if e.consent != nil && m.PatientCol != "" {
+			excluded := map[string]bool{}
+			for _, cat := range allCats {
+				if deniedOut[cat] {
+					continue
+				}
+				for _, pat := range e.consent.OptedOut(cat, purpose) {
+					excluded[pat] = true
+				}
+			}
+			if len(excluded) > 0 {
+				addConsentPredicate(sel, m.PatientCol, keys(excluded))
+				acc.OptedOut = len(excluded)
+			}
+		}
+	}
+
+	res, err := e.db.ExecStmt(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	grantedCats := allCats
+	e.audit(p, purpose, reason, acc, audit.Allow, grantedCats)
+	return res, acc, nil
+}
+
+// audit writes one compliance entry per touched data category, as the
+// paper's single-valued (data, d) schema requires.
+func (e *Enforcer) audit(p Principal, purpose, reason string, acc *Access, op audit.Op, cats []string) {
+	if e.log == nil {
+		return
+	}
+	status := audit.Regular
+	if acc.Exception {
+		status = audit.Exception
+	}
+	now := e.clock()
+	for _, cat := range cats {
+		entry := audit.Entry{
+			Time:       now,
+			Op:         op,
+			User:       p.User,
+			Data:       cat,
+			Purpose:    purpose,
+			Authorized: p.Role,
+			Status:     status,
+			Reason:     reason,
+		}
+		if err := e.log.Append(entry); err == nil {
+			acc.Entries = append(acc.Entries, entry)
+		}
+	}
+}
+
+// ---- AST analysis and rewriting ----
+
+// expandStar replaces bare * items with one item per table column.
+func expandStar(sel *minidb.SelectStmt, tbl *minidb.Table) {
+	var items []minidb.SelectItem
+	for _, it := range sel.Items {
+		if !it.Star {
+			items = append(items, it)
+			continue
+		}
+		for _, c := range tbl.Columns() {
+			items = append(items, minidb.SelectItem{
+				Expr:  &minidb.ColRef{Name: c.Name},
+				Alias: c.Name,
+			})
+		}
+	}
+	sel.Items = items
+}
+
+func selectExprs(sel *minidb.SelectStmt) []minidb.Expr {
+	var out []minidb.Expr
+	for _, it := range sel.Items {
+		if it.Expr != nil {
+			out = append(out, it.Expr)
+		}
+	}
+	return out
+}
+
+func nonOutputExprs(sel *minidb.SelectStmt) []minidb.Expr {
+	var out []minidb.Expr
+	if sel.Where != nil {
+		out = append(out, sel.Where)
+	}
+	out = append(out, sel.GroupBy...)
+	if sel.Having != nil {
+		out = append(out, sel.Having)
+	}
+	for _, ob := range sel.OrderBy {
+		out = append(out, ob.Expr)
+	}
+	return out
+}
+
+// columnsOf collects every column name referenced by the expressions.
+func columnsOf(exprs []minidb.Expr) []string {
+	set := map[string]bool{}
+	var walk func(e minidb.Expr)
+	walk = func(e minidb.Expr) {
+		switch x := e.(type) {
+		case nil:
+			return
+		case *minidb.ColRef:
+			name := x.Name
+			if i := strings.LastIndexByte(name, '.'); i >= 0 {
+				name = name[i+1:]
+			}
+			set[strings.ToLower(name)] = true
+		case *minidb.Unary:
+			walk(x.X)
+		case *minidb.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *minidb.Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *minidb.InList:
+			walk(x.X)
+			for _, a := range x.List {
+				walk(a)
+			}
+		case *minidb.Like:
+			walk(x.X)
+			walk(x.Pattern)
+		case *minidb.IsNull:
+			walk(x.X)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	out := keys(set)
+	return out
+}
+
+// categoriesOf maps column names to their data categories (sorted,
+// deduplicated); unmapped columns carry no category.
+func categoriesOf(cols []string, m *TableMapping) []string {
+	set := map[string]bool{}
+	for _, c := range cols {
+		if cat, ok := m.Categories[c]; ok {
+			set[cat] = true
+		}
+	}
+	return keys(set)
+}
+
+// maskColumns nulls out the output items whose category is denied,
+// keeping their names. Returns the masked column names and how many
+// categorized output columns remain visible.
+func maskColumns(sel *minidb.SelectStmt, m *TableMapping, denied map[string]bool) (masked []string, kept int) {
+	for i, it := range sel.Items {
+		cols := columnsOf([]minidb.Expr{it.Expr})
+		hit := false
+		categorized := false
+		for _, c := range cols {
+			if cat, ok := m.Categories[c]; ok {
+				categorized = true
+				if denied[cat] {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			name := it.Alias
+			if name == "" {
+				name = it.Expr.String()
+			}
+			sel.Items[i] = minidb.SelectItem{
+				Expr:  &minidb.Literal{Val: minidb.Null()},
+				Alias: name,
+			}
+			masked = append(masked, name)
+		} else if categorized {
+			kept++
+		}
+	}
+	sort.Strings(masked)
+	return masked, kept
+}
+
+// addConsentPredicate rewrites WHERE with
+// "AND patientCol NOT IN ('p1', ...)".
+func addConsentPredicate(sel *minidb.SelectStmt, patientCol string, patients []string) {
+	list := make([]minidb.Expr, len(patients))
+	for i, p := range patients {
+		list[i] = &minidb.Literal{Val: minidb.Text(p)}
+	}
+	pred := &minidb.InList{X: &minidb.ColRef{Name: patientCol}, Not: true, List: list}
+	if sel.Where == nil {
+		sel.Where = pred
+	} else {
+		sel.Where = &minidb.Binary{Op: "AND", L: sel.Where, R: pred}
+	}
+}
+
+func union(a, b []string) []string {
+	set := map[string]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	return keys(set)
+}
+
+func keys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

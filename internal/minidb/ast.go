@@ -1,0 +1,214 @@
+package minidb
+
+import (
+	"strings"
+)
+
+// Expr is a SQL expression node. String renders the expression back to
+// SQL-ish text; structural identity of rendered strings is used to
+// match SELECT items against GROUP BY expressions.
+type Expr interface {
+	String() string
+}
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+func (e *Literal) String() string {
+	if e.Val.Kind() == KindText {
+		return "'" + strings.ReplaceAll(e.Val.AsText(), "'", "''") + "'"
+	}
+	return e.Val.String()
+}
+
+// ColRef references a column by (case-insensitive) name.
+type ColRef struct{ Name string }
+
+func (e *ColRef) String() string { return strings.ToLower(e.Name) }
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+func (e *Unary) String() string { return e.Op + " " + e.X.String() }
+
+// Binary is a binary operation: arithmetic (+ - * / %), comparison
+// (= <> < <= > >=) or logical (AND OR).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+// Call is a function call, possibly aggregate. Star marks COUNT(*);
+// Distinct marks COUNT(DISTINCT x).
+type Call struct {
+	Name     string // upper-cased
+	Star     bool
+	Distinct bool
+	Args     []Expr
+}
+
+func (e *Call) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(parts, ", ") + ")"
+}
+
+// InList is x [NOT] IN (e1, e2, ...).
+type InList struct {
+	X    Expr
+	Not  bool
+	List []Expr
+}
+
+func (e *InList) String() string {
+	parts := make([]string, len(e.List))
+	for i, a := range e.List {
+		parts[i] = a.String()
+	}
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return e.X.String() + not + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// Like is x [NOT] LIKE pattern, with % and _ wildcards.
+type Like struct {
+	X       Expr
+	Not     bool
+	Pattern Expr
+}
+
+func (e *Like) String() string {
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return e.X.String() + not + " LIKE " + e.Pattern.String()
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+func (e *IsNull) String() string {
+	if e.Not {
+		return e.X.String() + " IS NOT NULL"
+	}
+	return e.X.String() + " IS NULL"
+}
+
+// SelectItem is one projection: an expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // bare *
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// JoinKind distinguishes join types.
+type JoinKind int
+
+// Supported joins.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+)
+
+// JoinClause is one JOIN ... ON ... step.
+type JoinClause struct {
+	Kind  JoinKind
+	Table string
+	Alias string
+	On    Expr
+}
+
+// SelectStmt is a SELECT over one table, optionally joined to others.
+type SelectStmt struct {
+	Distinct   bool
+	Items      []SelectItem
+	Table      string
+	TableAlias string
+	Joins      []JoinClause
+	Where      Expr
+	GroupBy    []Expr
+	Having     Expr
+	OrderBy    []OrderItem
+	Limit      int // -1 when absent
+	Offset     int
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// CreateTableStmt is CREATE TABLE t (col TYPE, ...).
+type CreateTableStmt struct {
+	Table       string
+	IfNotExists bool
+	Cols        []Column
+}
+
+// DropTableStmt is DROP TABLE [IF EXISTS] t.
+type DropTableStmt struct {
+	Table    string
+	IfExists bool
+}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// UpdateStmt is UPDATE t SET c = e, ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Cols  []string
+	Exprs []Expr
+	Where Expr
+}
+
+// ExplainStmt is EXPLAIN <select>: it describes the execution plan
+// instead of running the query.
+type ExplainStmt struct {
+	Select *SelectStmt
+}
+
+// Stmt is any parsed statement.
+type Stmt interface{ stmt() }
+
+func (*ExplainStmt) stmt() {}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}

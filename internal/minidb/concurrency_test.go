@@ -1,0 +1,62 @@
+package minidb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadWrite hammers a table with parallel inserts,
+// updates, deletes and indexed selects. Run with -race.
+func TestConcurrentReadWrite(t *testing.T) {
+	db := NewDatabase()
+	db.MustExec(`CREATE TABLE t (id INT, usr TEXT, n INT)`)
+	db.MustExec(`CREATE INDEX usr_ix ON t (usr)`)
+
+	const workers = 6
+	const rounds = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				var err error
+				switch i % 4 {
+				case 0:
+					_, err = db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'u%d', %d)`, w*rounds+i, w, i))
+				case 1:
+					_, err = db.Exec(fmt.Sprintf(`SELECT id, n FROM t WHERE usr = 'u%d'`, w))
+				case 2:
+					_, err = db.Exec(fmt.Sprintf(`UPDATE t SET n = n + 1 WHERE usr = 'u%d'`, w))
+				case 3:
+					_, err = db.Exec(`SELECT usr, COUNT(*) FROM t GROUP BY usr`)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Final state self-consistent: indexed count equals scan count.
+	for w := 0; w < workers; w++ {
+		idx := db.MustExec(fmt.Sprintf(`SELECT COUNT(*) FROM t WHERE usr = 'u%d'`, w)).Rows[0][0].AsInt()
+		all := db.MustExec(`SELECT usr, COUNT(*) AS n FROM t GROUP BY usr ORDER BY usr`)
+		var scan int64
+		for _, row := range all.Rows {
+			if row[0].AsText() == fmt.Sprintf("u%d", w) {
+				scan = row[1].AsInt()
+			}
+		}
+		if idx != scan {
+			t.Fatalf("u%d: indexed %d != scanned %d", w, idx, scan)
+		}
+	}
+}

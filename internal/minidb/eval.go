@@ -1,0 +1,603 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// env resolves column references and (in grouped mode) aggregate calls
+// during expression evaluation.
+type env interface {
+	col(name string) (Value, error)
+	agg(c *Call) (Value, bool, error) // ok=false when aggregates are not available
+}
+
+// rowEnv evaluates over a single table row.
+type rowEnv struct {
+	table *Table
+	row   []Value
+}
+
+func (e *rowEnv) col(name string) (Value, error) {
+	idx, err := e.table.colIndex(name)
+	if err != nil {
+		return Value{}, err
+	}
+	return e.row[idx], nil
+}
+
+func (e *rowEnv) agg(*Call) (Value, bool, error) { return Value{}, false, nil }
+
+// groupEnv evaluates over one group of rows: aggregate calls are
+// computed over the group; bare columns resolve only when the
+// expression matches a GROUP BY expression (checked by the planner,
+// which substitutes groupKeyEnv), or via the group's first row for
+// rendered group-by matches.
+type groupEnv struct {
+	table *Table
+	rows  [][]Value
+	// groupExprs maps the rendered text of each GROUP BY expression to
+	// its evaluated (constant within the group) value.
+	groupVals map[string]Value
+}
+
+func (e *groupEnv) col(name string) (Value, error) {
+	key := strings.ToLower(name)
+	if v, ok := e.groupVals[key]; ok {
+		return v, nil
+	}
+	return Value{}, fmt.Errorf("minidb: column %q must appear in GROUP BY or inside an aggregate", name)
+}
+
+func (e *groupEnv) agg(c *Call) (Value, bool, error) {
+	v, err := evalAggregate(c, e.table, e.rows)
+	if err != nil {
+		return Value{}, true, err
+	}
+	return v, true, nil
+}
+
+// isAggregateName reports whether the function name is an aggregate.
+func isAggregateName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// hasAggregate reports whether the expression contains an aggregate
+// call.
+func hasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *Literal, *ColRef:
+		return false
+	case *Unary:
+		return hasAggregate(x.X)
+	case *Binary:
+		return hasAggregate(x.L) || hasAggregate(x.R)
+	case *Call:
+		if isAggregateName(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *InList:
+		if hasAggregate(x.X) {
+			return true
+		}
+		for _, a := range x.List {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *Like:
+		return hasAggregate(x.X) || hasAggregate(x.Pattern)
+	case *IsNull:
+		return hasAggregate(x.X)
+	default:
+		return false
+	}
+}
+
+// eval evaluates an expression under an environment. Comparison
+// operators follow SQL three-valued logic collapsed to two values:
+// comparisons involving NULL are false, and NOT of such a comparison
+// is true only when the underlying comparison produced a definite
+// result. This keeps the engine small while matching the behaviour
+// the refinement pipeline (Algorithm 5) relies on.
+func eval(e Expr, en env) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColRef:
+		return en.col(x.Name)
+	case *Unary:
+		v, err := eval(x.X, en)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return Null(), nil
+			}
+			if v.Kind() != KindBool {
+				return Value{}, fmt.Errorf("minidb: NOT requires a boolean, got %s", v.Kind())
+			}
+			return Bool(!v.AsBool()), nil
+		case "-":
+			switch v.Kind() {
+			case KindInt:
+				return Int(-v.AsInt()), nil
+			case KindFloat:
+				return Float(-v.AsFloat()), nil
+			case KindNull:
+				return Null(), nil
+			}
+			return Value{}, fmt.Errorf("minidb: unary - requires a number, got %s", v.Kind())
+		}
+		return Value{}, fmt.Errorf("minidb: unknown unary op %q", x.Op)
+	case *Binary:
+		return evalBinary(x, en)
+	case *Call:
+		if isAggregateName(x.Name) {
+			v, ok, err := en.agg(x)
+			if err != nil {
+				return Value{}, err
+			}
+			if !ok {
+				return Value{}, fmt.Errorf("minidb: aggregate %s not allowed here", x.Name)
+			}
+			return v, nil
+		}
+		return evalScalarCall(x, en)
+	case *InList:
+		return evalIn(x, en)
+	case *Like:
+		return evalLike(x, en)
+	case *IsNull:
+		v, err := eval(x.X, en)
+		if err != nil {
+			return Value{}, err
+		}
+		res := v.IsNull()
+		if x.Not {
+			res = !res
+		}
+		return Bool(res), nil
+	default:
+		return Value{}, fmt.Errorf("minidb: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(x *Binary, en env) (Value, error) {
+	switch x.Op {
+	case "AND", "OR":
+		l, err := eval(x.L, en)
+		if err != nil {
+			return Value{}, err
+		}
+		lb, lok := boolOf(l)
+		// Short circuit.
+		if x.Op == "AND" && lok && !lb {
+			return Bool(false), nil
+		}
+		if x.Op == "OR" && lok && lb {
+			return Bool(true), nil
+		}
+		r, err := eval(x.R, en)
+		if err != nil {
+			return Value{}, err
+		}
+		rb, rok := boolOf(r)
+		if !lok || !rok {
+			// NULL-ish logic: unknown AND x => false-ish unless both
+			// definite; keep it simple and return NULL.
+			if x.Op == "AND" {
+				if (lok && !lb) || (rok && !rb) {
+					return Bool(false), nil
+				}
+			} else {
+				if (lok && lb) || (rok && rb) {
+					return Bool(true), nil
+				}
+			}
+			return Null(), nil
+		}
+		if x.Op == "AND" {
+			return Bool(lb && rb), nil
+		}
+		return Bool(lb || rb), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		l, err := eval(x.L, en)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := eval(x.R, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		cmp, ok := compare(l, r)
+		if !ok {
+			// Incomparable kinds: equality is false, inequality true;
+			// ordering comparisons are errors.
+			switch x.Op {
+			case "=":
+				return Bool(false), nil
+			case "<>":
+				return Bool(true), nil
+			}
+			return Value{}, fmt.Errorf("minidb: cannot compare %s with %s", l.Kind(), r.Kind())
+		}
+		switch x.Op {
+		case "=":
+			return Bool(cmp == 0), nil
+		case "<>":
+			return Bool(cmp != 0), nil
+		case "<":
+			return Bool(cmp < 0), nil
+		case "<=":
+			return Bool(cmp <= 0), nil
+		case ">":
+			return Bool(cmp > 0), nil
+		case ">=":
+			return Bool(cmp >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		l, err := eval(x.L, en)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := eval(x.R, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		// String concatenation via +.
+		if x.Op == "+" && l.Kind() == KindText && r.Kind() == KindText {
+			return Text(l.AsText() + r.AsText()), nil
+		}
+		if !l.isNumeric() || !r.isNumeric() {
+			return Value{}, fmt.Errorf("minidb: arithmetic %s requires numbers, got %s and %s", x.Op, l.Kind(), r.Kind())
+		}
+		if l.Kind() == KindInt && r.Kind() == KindInt {
+			a, b := l.AsInt(), r.AsInt()
+			switch x.Op {
+			case "+":
+				return Int(a + b), nil
+			case "-":
+				return Int(a - b), nil
+			case "*":
+				return Int(a * b), nil
+			case "/":
+				if b == 0 {
+					return Value{}, fmt.Errorf("minidb: division by zero")
+				}
+				return Int(a / b), nil
+			case "%":
+				if b == 0 {
+					return Value{}, fmt.Errorf("minidb: division by zero")
+				}
+				return Int(a % b), nil
+			}
+		}
+		a, b := l.AsFloat(), r.AsFloat()
+		switch x.Op {
+		case "+":
+			return Float(a + b), nil
+		case "-":
+			return Float(a - b), nil
+		case "*":
+			return Float(a * b), nil
+		case "/":
+			if b == 0 {
+				return Value{}, fmt.Errorf("minidb: division by zero")
+			}
+			return Float(a / b), nil
+		case "%":
+			return Value{}, fmt.Errorf("minidb: %% requires integers")
+		}
+	}
+	return Value{}, fmt.Errorf("minidb: unknown binary op %q", x.Op)
+}
+
+func boolOf(v Value) (bool, bool) {
+	if v.Kind() == KindBool {
+		return v.AsBool(), true
+	}
+	return false, false
+}
+
+func evalIn(x *InList, en env) (Value, error) {
+	v, err := eval(x.X, en)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	found := false
+	for _, le := range x.List {
+		lv, err := eval(le, en)
+		if err != nil {
+			return Value{}, err
+		}
+		if lv.IsNull() {
+			continue
+		}
+		if cmp, ok := compare(v, lv); ok && cmp == 0 {
+			found = true
+			break
+		}
+	}
+	if x.Not {
+		found = !found
+	}
+	return Bool(found), nil
+}
+
+func evalLike(x *Like, en env) (Value, error) {
+	v, err := eval(x.X, en)
+	if err != nil {
+		return Value{}, err
+	}
+	p, err := eval(x.Pattern, en)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() || p.IsNull() {
+		return Null(), nil
+	}
+	if v.Kind() != KindText || p.Kind() != KindText {
+		return Value{}, fmt.Errorf("minidb: LIKE requires text operands")
+	}
+	ok := likeMatch(strings.ToLower(v.AsText()), strings.ToLower(p.AsText()))
+	if x.Not {
+		ok = !ok
+	}
+	return Bool(ok), nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single
+// character), case-insensitively (inputs are pre-lowered).
+func likeMatch(s, pat string) bool {
+	// Iterative two-pointer matching with backtracking on %.
+	var si, pi int
+	star, sBack := -1, 0
+	for si < len(s) {
+		if pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]) {
+			si++
+			pi++
+			continue
+		}
+		if pi < len(pat) && pat[pi] == '%' {
+			star = pi
+			sBack = si
+			pi++
+			continue
+		}
+		if star >= 0 {
+			pi = star + 1
+			sBack++
+			si = sBack
+			continue
+		}
+		return false
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+func evalScalarCall(x *Call, en env) (Value, error) {
+	argVals := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := eval(a, en)
+		if err != nil {
+			return Value{}, err
+		}
+		argVals[i] = v
+	}
+	need := func(n int) error {
+		if len(argVals) != n {
+			return fmt.Errorf("minidb: %s expects %d argument(s), got %d", x.Name, n, len(argVals))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "LOWER":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if argVals[0].IsNull() {
+			return Null(), nil
+		}
+		return Text(strings.ToLower(argVals[0].AsText())), nil
+	case "UPPER":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if argVals[0].IsNull() {
+			return Null(), nil
+		}
+		return Text(strings.ToUpper(argVals[0].AsText())), nil
+	case "LENGTH":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if argVals[0].IsNull() {
+			return Null(), nil
+		}
+		return Int(int64(len(argVals[0].AsText()))), nil
+	case "COALESCE":
+		for _, v := range argVals {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return Null(), nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		v := argVals[0]
+		switch v.Kind() {
+		case KindNull:
+			return Null(), nil
+		case KindInt:
+			if v.AsInt() < 0 {
+				return Int(-v.AsInt()), nil
+			}
+			return v, nil
+		case KindFloat:
+			if v.AsFloat() < 0 {
+				return Float(-v.AsFloat()), nil
+			}
+			return v, nil
+		}
+		return Value{}, fmt.Errorf("minidb: ABS requires a number")
+	case "TRIM":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if argVals[0].IsNull() {
+			return Null(), nil
+		}
+		return Text(strings.TrimSpace(argVals[0].AsText())), nil
+	case "SUBSTR":
+		// SUBSTR(s, start [, length]); start is 1-based per SQL.
+		if len(argVals) != 2 && len(argVals) != 3 {
+			return Value{}, fmt.Errorf("minidb: SUBSTR expects 2 or 3 arguments, got %d", len(argVals))
+		}
+		if argVals[0].IsNull() || argVals[1].IsNull() {
+			return Null(), nil
+		}
+		s := argVals[0].AsText()
+		start := int(argVals[1].AsInt()) - 1
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return Text(""), nil
+		}
+		end := len(s)
+		if len(argVals) == 3 {
+			if argVals[2].IsNull() {
+				return Null(), nil
+			}
+			if n := int(argVals[2].AsInt()); n >= 0 && start+n < end {
+				end = start + n
+			}
+		}
+		return Text(s[start:end]), nil
+	case "ROUND":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		v := argVals[0]
+		switch v.Kind() {
+		case KindNull:
+			return Null(), nil
+		case KindInt:
+			return v, nil
+		case KindFloat:
+			f := v.AsFloat()
+			if f < 0 {
+				return Int(int64(f - 0.5)), nil
+			}
+			return Int(int64(f + 0.5)), nil
+		}
+		return Value{}, fmt.Errorf("minidb: ROUND requires a number")
+	default:
+		return Value{}, fmt.Errorf("minidb: unknown function %s", x.Name)
+	}
+}
+
+// evalAggregate computes an aggregate call over a group of rows.
+func evalAggregate(c *Call, table *Table, rows [][]Value) (Value, error) {
+	if c.Name == "COUNT" && c.Star {
+		return Int(int64(len(rows))), nil
+	}
+	if len(c.Args) != 1 {
+		return Value{}, fmt.Errorf("minidb: %s expects exactly one argument", c.Name)
+	}
+	arg := c.Args[0]
+	if hasAggregate(arg) {
+		return Value{}, fmt.Errorf("minidb: nested aggregates are not allowed")
+	}
+	var vals []Value
+	seen := map[string]bool{}
+	for _, row := range rows {
+		v, err := eval(arg, &rowEnv{table: table, row: row})
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			continue // SQL aggregates skip NULLs
+		}
+		if c.Distinct {
+			k := v.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch c.Name {
+	case "COUNT":
+		return Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		allInt := true
+		sum := 0.0
+		for _, v := range vals {
+			if !v.isNumeric() {
+				return Value{}, fmt.Errorf("minidb: %s requires numeric values", c.Name)
+			}
+			if v.Kind() != KindInt {
+				allInt = false
+			}
+			sum += v.AsFloat()
+		}
+		if c.Name == "AVG" {
+			return Float(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return Int(int64(sum)), nil
+		}
+		return Float(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp, ok := compare(v, best)
+			if !ok {
+				return Value{}, fmt.Errorf("minidb: %s over incomparable values", c.Name)
+			}
+			if (c.Name == "MIN" && cmp < 0) || (c.Name == "MAX" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return Value{}, fmt.Errorf("minidb: unknown aggregate %s", c.Name)
+}

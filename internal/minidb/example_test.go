@@ -1,0 +1,60 @@
+package minidb_test
+
+import (
+	"fmt"
+
+	"repro/internal/minidb"
+)
+
+// Example runs the paper's Algorithm 5 analysis verbatim against the
+// engine: the GROUP BY / HAVING statement over an audit table.
+func Example() {
+	db := minidb.NewDatabase()
+	db.MustExec(`CREATE TABLE practice (usr TEXT, data TEXT, purpose TEXT, authorized TEXT)`)
+	db.MustExec(`INSERT INTO practice VALUES
+		('Mark', 'Referral', 'Registration', 'Nurse'),
+		('Tim',  'Referral', 'Registration', 'Nurse'),
+		('Bob',  'Referral', 'Registration', 'Nurse'),
+		('Mark', 'Referral', 'Registration', 'Nurse'),
+		('Mark', 'Referral', 'Registration', 'Nurse'),
+		('Eve',  'Psychiatry', 'Research',   'Clerk')`)
+	res := db.MustExec(`
+		SELECT data, purpose, authorized, COUNT(*) AS support
+		FROM practice
+		GROUP BY data, purpose, authorized
+		HAVING COUNT(*) >= 5 AND COUNT(DISTINCT usr) > 1`)
+	for i := range res.Rows {
+		fmt.Println(res.RowStrings(i))
+	}
+	// Output: [Referral Registration Nurse 5]
+}
+
+// Example_join correlates an audit table with a staff directory.
+func Example_join() {
+	db := minidb.NewDatabase()
+	db.MustExec(`CREATE TABLE access (usr TEXT, data TEXT)`)
+	db.MustExec(`CREATE TABLE staff (name TEXT, dept TEXT)`)
+	db.MustExec(`INSERT INTO access VALUES ('mark', 'referral'), ('amy', 'address')`)
+	db.MustExec(`INSERT INTO staff VALUES ('mark', 'er'), ('amy', 'billing')`)
+	res := db.MustExec(`
+		SELECT a.data, s.dept FROM access a
+		JOIN staff s ON a.usr = s.name
+		ORDER BY a.data`)
+	for i := range res.Rows {
+		fmt.Println(res.RowStrings(i))
+	}
+	// Output:
+	// [address billing]
+	// [referral er]
+}
+
+// Example_explain shows the plan description, including index use.
+func Example_explain() {
+	db := minidb.NewDatabase()
+	db.MustExec(`CREATE TABLE t (id INT, usr TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'a'), (2, 'b')`)
+	db.MustExec(`CREATE INDEX usr_ix ON t (usr)`)
+	res := db.MustExec(`EXPLAIN SELECT id FROM t WHERE usr = 'a'`)
+	fmt.Println(res.Rows[0][0].AsText())
+	// Output: index lookup t(usr)
+}

@@ -1,0 +1,130 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// hashIndex is an equality index over one column. Indexes are rebuilt
+// lazily: mutations bump the table version, and a stale index is
+// reconstructed on first use. For the audit-analysis workloads this
+// engine serves (append-heavy, scan-heavy), lazy rebuilds beat
+// per-row maintenance.
+type hashIndex struct {
+	col     int
+	version uint64
+	m       map[string][]int // value key -> row positions
+}
+
+// CreateIndexStmt is CREATE INDEX name ON table (col).
+type CreateIndexStmt struct {
+	Name  string
+	Table string
+	Col   string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// CreateIndex registers an equality index on a column. Indexes speed
+// up top-level `col = literal` predicates; they are transparent
+// otherwise.
+func (db *Database) CreateIndex(table, col string) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	idx, err := t.colIndex(col)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := strings.ToLower(col)
+	if t.indexes == nil {
+		t.indexes = make(map[string]*hashIndex)
+	}
+	if _, dup := t.indexes[key]; dup {
+		return fmt.Errorf("minidb: index on %s(%s) already exists", table, col)
+	}
+	t.indexes[key] = &hashIndex{col: idx, version: ^uint64(0)} // force build
+	return nil
+}
+
+// Indexes lists the indexed column names of a table, sorted.
+func (t *Table) Indexes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	sortStrings(out)
+	return out
+}
+
+// lookupEq returns the rows whose column equals v, using the index if
+// one exists; ok=false means no index on that column.
+func (t *Table) lookupEq(col string, v Value) ([][]Value, bool) {
+	key := strings.ToLower(col)
+	// Strip a qualifier ("alias.col") — single-table fast path only.
+	if dot := strings.LastIndexByte(key, '.'); dot >= 0 {
+		key = key[dot+1:]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ix, ok := t.indexes[key]
+	if !ok {
+		return nil, false
+	}
+	if ix.version != t.version {
+		ix.m = make(map[string][]int, len(t.rows))
+		for i, row := range t.rows {
+			k := row[ix.col].key()
+			ix.m[k] = append(ix.m[k], i)
+		}
+		ix.version = t.version
+	}
+	positions := ix.m[v.key()]
+	rows := make([][]Value, len(positions))
+	for i, p := range positions {
+		rows[i] = t.rows[p]
+	}
+	return rows, true
+}
+
+// indexableEq inspects a WHERE tree for a top-level (AND-connected)
+// `col = literal` conjunct and returns it. The full predicate is
+// still evaluated afterwards, so using the index is purely a
+// row-source optimization.
+func indexableEq(e Expr) (col string, val Value, ok bool) {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "AND":
+			if c, v, ok := indexableEq(x.L); ok {
+				return c, v, true
+			}
+			return indexableEq(x.R)
+		case "=":
+			if ref, rok := x.L.(*ColRef); rok {
+				if lit, lok := x.R.(*Literal); lok {
+					return ref.Name, lit.Val, true
+				}
+			}
+			if ref, rok := x.R.(*ColRef); rok {
+				if lit, lok := x.L.(*Literal); lok {
+					return ref.Name, lit.Val, true
+				}
+			}
+		}
+	}
+	return "", Value{}, false
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,626 @@
+package minidb
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// testDB builds a small clinical-flavoured fixture.
+func testDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec(`CREATE TABLE access (
+		id INT, usr TEXT, data TEXT, purpose TEXT, role TEXT, status INT, at TIMESTAMP
+	)`)
+	rows := []string{
+		`(1, 'John', 'Prescription', 'Treatment', 'Nurse', 1, '2007-03-01T08:00:00Z')`,
+		`(2, 'Tim', 'Referral', 'Treatment', 'Nurse', 1, '2007-03-01T09:00:00Z')`,
+		`(3, 'Mark', 'Referral', 'Registration', 'Nurse', 0, '2007-03-01T10:00:00Z')`,
+		`(4, 'Sarah', 'Psychiatry', 'Treatment', 'Doctor', 0, '2007-03-01T11:00:00Z')`,
+		`(5, 'Bill', 'Address', 'Billing', 'Clerk', 1, '2007-03-01T12:00:00Z')`,
+		`(6, 'Jason', 'Prescription', 'Billing', 'Clerk', 0, '2007-03-01T13:00:00Z')`,
+		`(7, 'Mark', 'Referral', 'Registration', 'Nurse', 0, '2007-03-01T14:00:00Z')`,
+		`(8, 'Tim', 'Referral', 'Registration', 'Nurse', 0, '2007-03-01T15:00:00Z')`,
+		`(9, 'Bob', 'Referral', 'Registration', 'Nurse', 0, '2007-03-01T16:00:00Z')`,
+		`(10, 'Mark', 'Referral', 'Registration', 'Nurse', 0, '2007-03-01T17:00:00Z')`,
+	}
+	mustExec(`INSERT INTO access VALUES ` + strings.Join(rows, ", "))
+	return db
+}
+
+func q(t *testing.T, db *Database, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}
+
+func TestCreateInsertSelectStar(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT * FROM access`)
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	if len(res.Columns) != 7 || res.Columns[1] != "usr" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if res.Rows[0][1].AsText() != "John" {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+	if res.Rows[0][6].Kind() != KindTime {
+		t.Errorf("timestamp column not coerced: %v", res.Rows[0][6].Kind())
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT usr FROM access WHERE status = 0 AND purpose = 'Registration'`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE id > 3 AND id <= 5`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("range filter: %d rows", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE usr <> 'Mark'`)
+	if len(res.Rows) != 7 {
+		t.Fatalf("<>: %d rows", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE usr != 'Mark'`)
+	if len(res.Rows) != 7 {
+		t.Fatalf("!=: %d rows", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE NOT (status = 0)`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("NOT: %d rows", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE purpose = 'Billing' OR purpose = 'Treatment'`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("OR: %d rows", len(res.Rows))
+	}
+}
+
+func TestSelectInLike(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT id FROM access WHERE usr IN ('Mark', 'Bob')`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("IN: %d rows", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE usr NOT IN ('Mark', 'Bob')`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("NOT IN: %d rows", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE data LIKE 'P%'`)
+	if len(res.Rows) != 3 { // Prescription x2, Psychiatry
+		t.Fatalf("LIKE: %d rows", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE data LIKE '_eferral'`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("LIKE _: %d rows", len(res.Rows))
+	}
+	res = q(t, db, `SELECT id FROM access WHERE data NOT LIKE '%e%'`)
+	// Case-insensitive: the only data value without an 'e' is Psychiatry.
+	if len(res.Rows) != 1 {
+		t.Fatalf("NOT LIKE: %d rows", len(res.Rows))
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "", false},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "a%b%c", true},
+		{"abc", "%%", true},
+		{"abc", "a_c_", false},
+		{"axbxc", "a%c", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestAlgorithm5Query(t *testing.T) {
+	// The paper's dataAnalysis SQL, verbatim shape:
+	// SELECT a1..an FROM P GROUP BY a1..an
+	// HAVING COUNT(*) >= f AND COUNT(DISTINCT usr) > 1.
+	db := testDB(t)
+	res := q(t, db, `
+		SELECT data, purpose, role, COUNT(*) AS support, COUNT(DISTINCT usr) AS users
+		FROM access
+		WHERE status = 0
+		GROUP BY data, purpose, role
+		HAVING COUNT(*) >= 5 AND COUNT(DISTINCT usr) > 1`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d patterns, want 1: %v", len(res.Rows), res.Rows)
+	}
+	row := res.Rows[0]
+	if row[0].AsText() != "Referral" || row[1].AsText() != "Registration" || row[2].AsText() != "Nurse" {
+		t.Errorf("pattern = %v", row)
+	}
+	if row[3].AsInt() != 5 || row[4].AsInt() != 3 {
+		t.Errorf("support/users = %v/%v, want 5/3", row[3], row[4])
+	}
+}
+
+func TestAggregatesWithoutGroupBy(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT COUNT(*), MIN(id), MAX(id), SUM(id), AVG(id) FROM access`)
+	row := res.Rows[0]
+	if row[0].AsInt() != 10 || row[1].AsInt() != 1 || row[2].AsInt() != 10 {
+		t.Errorf("count/min/max = %v", row)
+	}
+	if row[3].AsInt() != 55 {
+		t.Errorf("sum = %v", row[3])
+	}
+	if row[4].AsFloat() != 5.5 {
+		t.Errorf("avg = %v", row[4])
+	}
+}
+
+func TestAggregateOverEmptyTable(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE empty (x INT)`)
+	res := q(t, db, `SELECT COUNT(*), SUM(x), MIN(x) FROM empty`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Errorf("COUNT(*) = %v", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].IsNull() || !res.Rows[0][2].IsNull() {
+		t.Errorf("SUM/MIN over empty should be NULL: %v", res.Rows[0])
+	}
+	// But a grouped query over empty input yields no groups.
+	res = q(t, db, `SELECT x, COUNT(*) FROM empty GROUP BY x`)
+	if len(res.Rows) != 0 {
+		t.Errorf("grouped empty: %v", res.Rows)
+	}
+}
+
+func TestGroupByStrictness(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec(`SELECT usr, COUNT(*) FROM access GROUP BY data`); err == nil {
+		t.Error("selecting a non-grouped column was accepted")
+	}
+	if _, err := db.Exec(`SELECT * FROM access GROUP BY data`); err == nil {
+		t.Error("star with GROUP BY was accepted")
+	}
+	if _, err := db.Exec(`SELECT COUNT(COUNT(*)) FROM access`); err == nil {
+		t.Error("nested aggregate accepted")
+	}
+	if _, err := db.Exec(`SELECT data FROM access WHERE COUNT(*) > 1`); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+	if _, err := db.Exec(`SELECT data, COUNT(*) FROM access GROUP BY COUNT(*)`); err == nil {
+		t.Error("aggregate in GROUP BY accepted")
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT LOWER(data), COUNT(*) FROM access GROUP BY LOWER(data) ORDER BY 2 DESC, 1`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d: %v", len(res.Rows), res.Rows)
+	}
+	if res.Rows[0][0].AsText() != "referral" || res.Rows[0][1].AsInt() != 6 {
+		t.Errorf("top group = %v", res.Rows[0])
+	}
+}
+
+func TestOrderByVariants(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT id, usr FROM access ORDER BY usr ASC, id DESC LIMIT 3`)
+	if res.Rows[0][1].AsText() != "Bill" {
+		t.Errorf("first = %v", res.Rows[0])
+	}
+	// Alias ordering.
+	res = q(t, db, `SELECT id AS n FROM access ORDER BY n DESC LIMIT 1`)
+	if res.Rows[0][0].AsInt() != 10 {
+		t.Errorf("alias order: %v", res.Rows[0])
+	}
+	// Ordinal ordering.
+	res = q(t, db, `SELECT id FROM access ORDER BY 1 DESC LIMIT 2`)
+	if res.Rows[0][0].AsInt() != 10 || res.Rows[1][0].AsInt() != 9 {
+		t.Errorf("ordinal order: %v", res.Rows)
+	}
+	if _, err := db.Exec(`SELECT id FROM access ORDER BY 3`); err == nil {
+		t.Error("out-of-range ordinal accepted")
+	}
+	// ORDER BY a column not in the projection.
+	res = q(t, db, `SELECT usr FROM access ORDER BY id DESC LIMIT 1`)
+	if res.Rows[0][0].AsText() != "Mark" {
+		t.Errorf("non-projected order: %v", res.Rows[0])
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT id FROM access ORDER BY id LIMIT 3 OFFSET 8`)
+	if len(res.Rows) != 2 || res.Rows[0][0].AsInt() != 9 {
+		t.Errorf("limit/offset: %v", res.Rows)
+	}
+	res = q(t, db, `SELECT id FROM access LIMIT 0`)
+	if len(res.Rows) != 0 {
+		t.Errorf("LIMIT 0: %v", res.Rows)
+	}
+	res = q(t, db, `SELECT id FROM access ORDER BY id LIMIT 5 OFFSET 100`)
+	if len(res.Rows) != 0 {
+		t.Errorf("big offset: %v", res.Rows)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT DISTINCT data FROM access ORDER BY data`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("distinct data: %v", res.Rows)
+	}
+	res = q(t, db, `SELECT DISTINCT data, purpose FROM access`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("distinct pairs: %d", len(res.Rows))
+	}
+}
+
+func TestDeleteUpdate(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `DELETE FROM access WHERE status = 1`)
+	if res.Affected != 3 {
+		t.Fatalf("deleted %d, want 3", res.Affected)
+	}
+	if got := q(t, db, `SELECT COUNT(*) FROM access`).Rows[0][0].AsInt(); got != 7 {
+		t.Fatalf("remaining = %d", got)
+	}
+	res = q(t, db, `UPDATE access SET role = 'RN', status = 9 WHERE purpose = 'Registration'`)
+	if res.Affected != 5 {
+		t.Fatalf("updated %d, want 5", res.Affected)
+	}
+	got := q(t, db, `SELECT COUNT(*) FROM access WHERE role = 'RN' AND status = 9`)
+	if got.Rows[0][0].AsInt() != 5 {
+		t.Errorf("update not visible: %v", got.Rows)
+	}
+	// DELETE without WHERE clears the table.
+	q(t, db, `DELETE FROM access`)
+	if db.MustExec(`SELECT COUNT(*) FROM access`).Rows[0][0].AsInt() != 0 {
+		t.Error("unconditional delete failed")
+	}
+}
+
+func TestUpdateSelfReference(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (a INT, b INT)`)
+	q(t, db, `INSERT INTO t VALUES (1, 10), (2, 20)`)
+	q(t, db, `UPDATE t SET a = a + b`)
+	res := q(t, db, `SELECT a FROM t ORDER BY a`)
+	if res.Rows[0][0].AsInt() != 11 || res.Rows[1][0].AsInt() != 22 {
+		t.Errorf("self-referencing update: %v", res.Rows)
+	}
+}
+
+func TestInsertColumnList(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (a INT, b TEXT, c FLOAT)`)
+	q(t, db, `INSERT INTO t (b, a) VALUES ('x', 5)`)
+	res := q(t, db, `SELECT a, b, c FROM t`)
+	if res.Rows[0][0].AsInt() != 5 || res.Rows[0][1].AsText() != "x" || !res.Rows[0][2].IsNull() {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+	if _, err := db.Exec(`INSERT INTO t (a) VALUES (1, 2)`); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO t (nosuch) VALUES (1)`); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (a INT, b TEXT)`)
+	q(t, db, `INSERT INTO t VALUES (1, 'x'), (NULL, 'y'), (3, NULL)`)
+	if got := len(q(t, db, `SELECT a FROM t WHERE a = 1`).Rows); got != 1 {
+		t.Errorf("= over NULL: %d", got)
+	}
+	// NULL comparisons exclude rows rather than matching.
+	if got := len(q(t, db, `SELECT a FROM t WHERE a <> 1`).Rows); got != 1 {
+		t.Errorf("<> excludes NULL rows: %d", got)
+	}
+	if got := len(q(t, db, `SELECT a FROM t WHERE a IS NULL`).Rows); got != 1 {
+		t.Errorf("IS NULL: %d", got)
+	}
+	if got := len(q(t, db, `SELECT a FROM t WHERE a IS NOT NULL`).Rows); got != 2 {
+		t.Errorf("IS NOT NULL: %d", got)
+	}
+	// Aggregates skip NULLs; COUNT(col) counts non-null.
+	res := q(t, db, `SELECT COUNT(a), COUNT(*) FROM t`)
+	if res.Rows[0][0].AsInt() != 2 || res.Rows[0][1].AsInt() != 3 {
+		t.Errorf("COUNT null handling: %v", res.Rows[0])
+	}
+	// COALESCE.
+	res = q(t, db, `SELECT COALESCE(b, 'missing') FROM t WHERE a = 3`)
+	if res.Rows[0][0].AsText() != "missing" {
+		t.Errorf("COALESCE: %v", res.Rows[0])
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (s TEXT, n INT)`)
+	q(t, db, `INSERT INTO t VALUES ('AbC', -4)`)
+	res := q(t, db, `SELECT LOWER(s), UPPER(s), LENGTH(s), ABS(n), n % 3 FROM t`)
+	row := res.Rows[0]
+	if row[0].AsText() != "abc" || row[1].AsText() != "ABC" || row[2].AsInt() != 3 || row[3].AsInt() != 4 {
+		t.Errorf("scalar funcs: %v", row)
+	}
+	if row[4].AsInt() != -1 {
+		t.Errorf("modulo: %v", row[4])
+	}
+	if _, err := db.Exec(`SELECT NOSUCHFN(s) FROM t`); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestArithmeticAndConcat(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (a INT, b FLOAT, s TEXT)`)
+	q(t, db, `INSERT INTO t VALUES (7, 2.5, 'x')`)
+	res := q(t, db, `SELECT a + 1, a - 2, a * 3, a / 2, b * 2, -a, s + 'y' FROM t`)
+	row := res.Rows[0]
+	if row[0].AsInt() != 8 || row[1].AsInt() != 5 || row[2].AsInt() != 21 || row[3].AsInt() != 3 {
+		t.Errorf("int arithmetic: %v", row)
+	}
+	if row[4].AsFloat() != 5.0 || row[5].AsInt() != -7 || row[6].AsText() != "xy" {
+		t.Errorf("mixed: %v", row)
+	}
+	if _, err := db.Exec(`SELECT a / 0 FROM t`); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if _, err := db.Exec(`SELECT a + s FROM t`); err == nil {
+		t.Error("int + text accepted")
+	}
+}
+
+func TestTimestampComparison(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT COUNT(*) FROM access WHERE at >= '2007-03-01T12:00:00Z'`)
+	if res.Rows[0][0].AsInt() != 6 {
+		t.Errorf("time filter: %v", res.Rows[0])
+	}
+	res = q(t, db, `SELECT MIN(at), MAX(at) FROM access`)
+	min, max := res.Rows[0][0].AsTime(), res.Rows[0][1].AsTime()
+	if min.Hour() != 8 || max.Hour() != 17 {
+		t.Errorf("min/max time: %v %v", min, max)
+	}
+}
+
+func TestCreateDropErrors(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (a INT)`)
+	if _, err := db.Exec(`CREATE TABLE t (a INT)`); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	q(t, db, `CREATE TABLE IF NOT EXISTS t (a INT)`)
+	if _, err := db.Exec(`SELECT * FROM nosuch`); err == nil {
+		t.Error("select from missing table accepted")
+	}
+	if _, err := db.Exec(`DROP TABLE nosuch`); err == nil {
+		t.Error("drop of missing table accepted")
+	}
+	q(t, db, `DROP TABLE IF EXISTS nosuch`)
+	q(t, db, `DROP TABLE t`)
+	if _, err := db.Exec(`SELECT * FROM t`); err == nil {
+		t.Error("dropped table still queryable")
+	}
+	if _, err := db.Exec(`CREATE TABLE bad ()`); err == nil {
+		t.Error("empty column list accepted")
+	}
+	if _, err := db.Exec(`CREATE TABLE bad (a INT, A TEXT)`); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := db.Exec(`CREATE TABLE bad (a NOSUCHTYPE)`); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestTypeCoercionOnInsert(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (i INT, f FLOAT, s TEXT, b BOOL, ts TIMESTAMP)`)
+	q(t, db, `INSERT INTO t VALUES (2.9, 3, 42, 1, '2007-03-01 08:00:00')`)
+	res := q(t, db, `SELECT i, f, s, b, ts FROM t`)
+	row := res.Rows[0]
+	if row[0].Kind() != KindInt || row[0].AsInt() != 2 {
+		t.Errorf("float->int: %v", row[0])
+	}
+	if row[1].Kind() != KindFloat || row[1].AsFloat() != 3 {
+		t.Errorf("int->float: %v", row[1])
+	}
+	if row[2].Kind() != KindText || row[2].AsText() != "42" {
+		t.Errorf("int->text: %v", row[2])
+	}
+	if row[3].Kind() != KindBool || !row[3].AsBool() {
+		t.Errorf("int->bool: %v", row[3])
+	}
+	if row[4].Kind() != KindTime {
+		t.Errorf("text->timestamp: %v", row[4])
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1, 1, 'x', TRUE, 'not a time')`); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES ('text', 1, 'x', TRUE, '2007-03-01')`); err == nil {
+		t.Error("text->int accepted")
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		``,
+		`SELEC * FROM access`,
+		`SELECT FROM access`,
+		`SELECT * FROM`,
+		`SELECT * FROM access WHERE`,
+		`SELECT * FROM access GROUP data`,
+		`SELECT * FROM access LIMIT x`,
+		`SELECT id FROM access ORDER id`,
+		`INSERT access VALUES (1)`,
+		`INSERT INTO access VALUES 1`,
+		`SELECT 'unterminated FROM access`,
+		`SELECT * FROM access; SELECT * FROM access`,
+		`SELECT id FROM access WHERE usr IN ()`,
+		`SELECT (id FROM access`,
+		`UPDATE access SET WHERE id = 1`,
+		`SELECT id @ 3 FROM access`,
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("accepted bad SQL: %s", sql)
+		}
+	}
+}
+
+func TestQualifiedColumnNames(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT access.usr FROM access WHERE access.id = 1`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsText() != "John" {
+		t.Errorf("qualified name: %v", res.Rows)
+	}
+}
+
+func TestStringEscapesAndComments(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (s TEXT)`)
+	q(t, db, `INSERT INTO t VALUES ('it''s') -- trailing comment`)
+	res := q(t, db, "SELECT s FROM t -- comment\nWHERE s = 'it''s'")
+	if len(res.Rows) != 1 || res.Rows[0][0].AsText() != "it's" {
+		t.Errorf("escape: %v", res.Rows)
+	}
+}
+
+func TestProgrammaticAPI(t *testing.T) {
+	db := NewDatabase()
+	tbl, err := db.CreateTable("log", []Column{{Name: "usr", Type: TypeText}, {Name: "n", Type: TypeInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("log", Text("amy"), Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("log", Text("bob"), Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 || tbl.Name() != "log" {
+		t.Errorf("table state: len=%d", tbl.Len())
+	}
+	if err := db.Insert("log", Text("one value")); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := db.Insert("nosuch", Int(1)); err == nil {
+		t.Error("insert into missing table accepted")
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "log" {
+		t.Errorf("TableNames = %v", names)
+	}
+	res := db.MustExec(`SELECT usr FROM log ORDER BY n DESC`)
+	if res.RowStrings(0)[0] != "bob" {
+		t.Errorf("RowStrings: %v", res.RowStrings(0))
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(3).AsFloat() != 3.0 || Float(2.5).AsInt() != 2 || Bool(true).AsInt() != 1 {
+		t.Error("numeric accessors broken")
+	}
+	if Null().String() != "NULL" || Bool(false).String() != "FALSE" {
+		t.Error("render broken")
+	}
+	now := time.Date(2007, 3, 1, 8, 0, 0, 0, time.UTC)
+	if Time(now).AsTime() != now {
+		t.Error("time round trip broken")
+	}
+	if Text("x").AsText() != "x" || Int(9).AsText() != "9" {
+		t.Error("AsText broken")
+	}
+	if KindText.String() != "TEXT" || KindNull.String() != "NULL" {
+		t.Error("Kind strings broken")
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	db := testDB(t)
+	// HAVING over the implicit single group.
+	res := q(t, db, `SELECT COUNT(*) FROM access HAVING COUNT(*) > 5`)
+	if len(res.Rows) != 1 {
+		t.Errorf("having true: %v", res.Rows)
+	}
+	res = q(t, db, `SELECT COUNT(*) FROM access HAVING COUNT(*) > 50`)
+	if len(res.Rows) != 0 {
+		t.Errorf("having false: %v", res.Rows)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	db := testDB(t)
+	res := q(t, db, `SELECT id FROM access WHERE id BETWEEN 3 AND 5 ORDER BY id`)
+	if len(res.Rows) != 3 || res.Rows[0][0].AsInt() != 3 || res.Rows[2][0].AsInt() != 5 {
+		t.Fatalf("BETWEEN: %v", res.Rows)
+	}
+	res = q(t, db, `SELECT id FROM access WHERE id NOT BETWEEN 3 AND 9`)
+	if len(res.Rows) != 3 { // 1, 2, 10
+		t.Fatalf("NOT BETWEEN: %v", res.Rows)
+	}
+	res = q(t, db, `SELECT id FROM access WHERE at BETWEEN '2007-03-01T10:00:00Z' AND '2007-03-01T12:00:00Z'`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("time BETWEEN: %v", res.Rows)
+	}
+	if _, err := db.Exec(`SELECT id FROM access WHERE id BETWEEN 3`); err == nil {
+		t.Error("half BETWEEN accepted")
+	}
+}
+
+func TestMoreScalarFunctions(t *testing.T) {
+	db := NewDatabase()
+	q(t, db, `CREATE TABLE t (s TEXT, f FLOAT)`)
+	q(t, db, `INSERT INTO t VALUES ('  padded  ', 2.6)`)
+	res := q(t, db, `SELECT TRIM(s), SUBSTR(s, 3, 6), ROUND(f), ROUND(0 - f) FROM t`)
+	row := res.Rows[0]
+	if row[0].AsText() != "padded" {
+		t.Errorf("TRIM: %q", row[0].AsText())
+	}
+	if row[1].AsText() != "padded" {
+		t.Errorf("SUBSTR: %q", row[1].AsText())
+	}
+	if row[2].AsInt() != 3 || row[3].AsInt() != -3 {
+		t.Errorf("ROUND: %v %v", row[2], row[3])
+	}
+	res = q(t, db, `SELECT SUBSTR(s, 100), SUBSTR(s, 1), SUBSTR(NULL, 1) FROM t`)
+	row = res.Rows[0]
+	if row[0].AsText() != "" || row[1].AsText() != "  padded  " || !row[2].IsNull() {
+		t.Errorf("SUBSTR edges: %v", row)
+	}
+	if _, err := db.Exec(`SELECT SUBSTR(s) FROM t`); err == nil {
+		t.Error("SUBSTR/1 accepted")
+	}
+	if _, err := db.Exec(`SELECT ROUND(s) FROM t`); err == nil {
+		t.Error("ROUND of text accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package minidb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds deterministic garbage — random token
+// soup and mutated valid statements — through Parse. Errors are fine;
+// panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+		"INSERT", "INTO", "VALUES", "CREATE", "TABLE", "INDEX", "JOIN", "ON",
+		"AND", "OR", "NOT", "IN", "LIKE", "IS", "NULL", "BETWEEN", "DISTINCT",
+		"COUNT", "SUM", "(", ")", ",", "*", "=", "<>", "<", ">", "<=", ">=",
+		"+", "-", "/", "%", ";", "'str'", "''", "42", "3.14", "ident", "t", "x",
+		"a.b", "--cmt\n",
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(18)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = tokens[rng.Intn(len(tokens))]
+		}
+		src := strings.Join(parts, " ")
+		_, _ = Parse(src) // error or not — must not panic
+	}
+	// Byte-level mutations of a valid statement.
+	valid := `SELECT data, COUNT(*) FROM practice WHERE status = 0 GROUP BY data HAVING COUNT(*) >= 5 ORDER BY 2 DESC LIMIT 10`
+	for trial := 0; trial < 3000; trial++ {
+		b := []byte(valid)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = byte(rng.Intn(128))
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			case 2:
+				b = append(b[:pos], append([]byte{byte('!' + rng.Intn(90))}, b[pos:]...)...)
+			}
+			if len(b) == 0 {
+				break
+			}
+		}
+		_, _ = Parse(string(b))
+	}
+}
+
+// TestExecNeverPanicsOnRandomQueries runs random structurally-plausible
+// SELECTs against a populated database; every call must return a
+// result or an error, never panic.
+func TestExecNeverPanicsOnRandomQueries(t *testing.T) {
+	db := testDB(t)
+	rng := rand.New(rand.NewSource(2))
+	cols := []string{"id", "usr", "data", "purpose", "role", "status", "at", "nosuch"}
+	ops := []string{"=", "<>", "<", ">", "<=", ">="}
+	vals := []string{"'Mark'", "5", "0", "'Referral'", "NULL", "3.5"}
+	aggs := []string{"COUNT(*)", "COUNT(DISTINCT usr)", "MIN(id)", "MAX(at)", "SUM(status)", "AVG(id)"}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("executor panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 2000; trial++ {
+		var sb strings.Builder
+		sb.WriteString("SELECT ")
+		if rng.Intn(3) == 0 {
+			sb.WriteString(aggs[rng.Intn(len(aggs))])
+		} else {
+			sb.WriteString(cols[rng.Intn(len(cols))])
+		}
+		if rng.Intn(2) == 0 {
+			sb.WriteString(", " + cols[rng.Intn(len(cols))])
+		}
+		sb.WriteString(" FROM access")
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&sb, " WHERE %s %s %s",
+				cols[rng.Intn(len(cols))], ops[rng.Intn(len(ops))], vals[rng.Intn(len(vals))])
+		}
+		if rng.Intn(3) == 0 {
+			sb.WriteString(" GROUP BY " + cols[rng.Intn(len(cols))])
+		}
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, " ORDER BY %d", 1+rng.Intn(3))
+		}
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, " LIMIT %d", rng.Intn(5))
+		}
+		_, _ = db.Exec(sb.String())
+	}
+}
+
+// TestGroupByDifferential checks SQL GROUP BY aggregation against an
+// independent map-based computation on random data.
+func TestGroupByDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		db := NewDatabase()
+		db.MustExec(`CREATE TABLE r (k TEXT, u TEXT, n INT)`)
+		type agg struct {
+			count int
+			sum   int64
+			users map[string]bool
+		}
+		want := map[string]*agg{}
+		rows := 20 + rng.Intn(80)
+		for i := 0; i < rows; i++ {
+			k := string(rune('a' + rng.Intn(4)))
+			u := string(rune('p' + rng.Intn(5)))
+			n := rng.Intn(100)
+			db.MustExec(fmt.Sprintf(`INSERT INTO r VALUES ('%s', '%s', %d)`, k, u, n))
+			a, ok := want[k]
+			if !ok {
+				a = &agg{users: map[string]bool{}}
+				want[k] = a
+			}
+			a.count++
+			a.sum += int64(n)
+			a.users[u] = true
+		}
+		res := db.MustExec(`SELECT k, COUNT(*), SUM(n), COUNT(DISTINCT u) FROM r GROUP BY k ORDER BY k`)
+		if len(res.Rows) != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(res.Rows), len(want))
+		}
+		for _, row := range res.Rows {
+			a := want[row[0].AsText()]
+			if a == nil {
+				t.Fatalf("trial %d: unexpected group %v", trial, row[0])
+			}
+			if row[1].AsInt() != int64(a.count) || row[2].AsInt() != a.sum || row[3].AsInt() != int64(len(a.users)) {
+				t.Fatalf("trial %d group %s: got (%v,%v,%v), want (%d,%d,%d)",
+					trial, row[0].AsText(), row[1], row[2], row[3], a.count, a.sum, len(a.users))
+			}
+		}
+	}
+}

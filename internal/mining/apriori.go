@@ -1,0 +1,302 @@
+// Package mining implements frequent-itemset and association-rule
+// mining with the Apriori algorithm of Agrawal & Srikant (VLDB 1994),
+// the paper's reference [18]. PRIMA's §5 proposes it as the
+// data-analysis upgrade that detects correlations between attribute
+// pairs "that are not discovered by simple SQL queries": the exact
+// GROUP BY of Algorithm 5 only finds full-width rules, while Apriori
+// also surfaces frequent sub-rules (e.g. every purpose under which a
+// role touches one data category).
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is one attribute=value element of a transaction.
+type Item struct {
+	Attr  string
+	Value string
+}
+
+// String renders the item.
+func (it Item) String() string { return it.Attr + "=" + it.Value }
+
+func (it Item) key() string {
+	return strings.ToLower(it.Attr) + "=" + strings.ToLower(it.Value)
+}
+
+// Itemset is a set of items, kept sorted by key.
+type Itemset []Item
+
+// NewItemset builds a normalized itemset (sorted, deduplicated).
+func NewItemset(items ...Item) Itemset {
+	set := make(map[string]Item, len(items))
+	for _, it := range items {
+		set[it.key()] = it
+	}
+	out := make(Itemset, 0, len(set))
+	for _, it := range set {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// Key returns the canonical identity of the itemset.
+func (s Itemset) Key() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.key()
+	}
+	return strings.Join(parts, "&")
+}
+
+// String renders the itemset.
+func (s Itemset) String() string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = it.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Contains reports whether s contains every item of sub.
+func (s Itemset) Contains(sub Itemset) bool {
+	i := 0
+	for _, it := range sub {
+		for i < len(s) && s[i].key() < it.key() {
+			i++
+		}
+		if i >= len(s) || s[i].key() != it.key() {
+			return false
+		}
+	}
+	return true
+}
+
+// Transaction is one basket of items (one audit row in PRIMA's use).
+type Transaction = Itemset
+
+// Frequent is an itemset with its absolute support count.
+type Frequent struct {
+	Items   Itemset
+	Support int
+}
+
+// Result holds the mining output, grouped by itemset size.
+type Result struct {
+	Transactions int
+	MinSupport   int
+	Frequent     []Frequent // all frequent itemsets, size-then-key order
+}
+
+// Lookup returns the support of the given itemset, 0 if infrequent.
+func (r *Result) Lookup(s Itemset) int {
+	key := s.Key()
+	for _, f := range r.Frequent {
+		if f.Items.Key() == key {
+			return f.Support
+		}
+	}
+	return 0
+}
+
+// OfSize returns the frequent itemsets with exactly k items.
+func (r *Result) OfSize(k int) []Frequent {
+	var out []Frequent
+	for _, f := range r.Frequent {
+		if len(f.Items) == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Apriori mines all itemsets with support >= minSupport (absolute
+// count). It is the levelwise algorithm of Agrawal & Srikant: L1 from
+// a scan, then candidate generation by joining L(k-1) with itself,
+// pruning candidates with any infrequent (k-1)-subset, and a support
+// scan per level.
+func Apriori(txs []Transaction, minSupport int) (*Result, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("mining: minSupport must be >= 1, got %d", minSupport)
+	}
+	res := &Result{Transactions: len(txs), MinSupport: minSupport}
+
+	// L1.
+	counts := make(map[string]int)
+	first := make(map[string]Item)
+	for _, tx := range txs {
+		for _, it := range tx {
+			counts[it.key()]++
+			if _, ok := first[it.key()]; !ok {
+				first[it.key()] = it
+			}
+		}
+	}
+	var level []Itemset
+	for k, c := range counts {
+		if c >= minSupport {
+			s := Itemset{first[k]}
+			level = append(level, s)
+			res.Frequent = append(res.Frequent, Frequent{Items: s, Support: c})
+		}
+	}
+	sortLevel(level)
+
+	for len(level) > 0 {
+		candidates := generateCandidates(level)
+		if len(candidates) == 0 {
+			break
+		}
+		// Support counting scan.
+		supp := make([]int, len(candidates))
+		for _, tx := range txs {
+			for i, c := range candidates {
+				if tx.Contains(c) {
+					supp[i]++
+				}
+			}
+		}
+		var next []Itemset
+		for i, c := range candidates {
+			if supp[i] >= minSupport {
+				next = append(next, c)
+				res.Frequent = append(res.Frequent, Frequent{Items: c, Support: supp[i]})
+			}
+		}
+		sortLevel(next)
+		level = next
+	}
+
+	sort.SliceStable(res.Frequent, func(i, j int) bool {
+		if len(res.Frequent[i].Items) != len(res.Frequent[j].Items) {
+			return len(res.Frequent[i].Items) < len(res.Frequent[j].Items)
+		}
+		return res.Frequent[i].Items.Key() < res.Frequent[j].Items.Key()
+	})
+	return res, nil
+}
+
+func sortLevel(level []Itemset) {
+	sort.Slice(level, func(i, j int) bool { return level[i].Key() < level[j].Key() })
+}
+
+// generateCandidates joins each pair of k-itemsets sharing their
+// first k-1 items, then prunes candidates with an infrequent subset.
+func generateCandidates(level []Itemset) []Itemset {
+	freq := make(map[string]bool, len(level))
+	for _, s := range level {
+		freq[s.Key()] = true
+	}
+	k := len(level[0])
+	var out []Itemset
+	seen := make(map[string]bool)
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a, b, k-1) {
+				break // level is sorted; prefixes diverge from here on
+			}
+			cand := NewItemset(append(append([]Item{}, a...), b[k-1])...)
+			if len(cand) != k+1 {
+				continue // a and b shared their last item's attr/value
+			}
+			key := cand.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if !allSubsetsFrequent(cand, freq) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i].key() != b[i].key() {
+			return false
+		}
+	}
+	return true
+}
+
+// allSubsetsFrequent applies the Apriori pruning property: every
+// k-subset of a (k+1)-candidate must be frequent.
+func allSubsetsFrequent(cand Itemset, freq map[string]bool) bool {
+	for skip := range cand {
+		sub := make(Itemset, 0, len(cand)-1)
+		sub = append(sub, cand[:skip]...)
+		sub = append(sub, cand[skip+1:]...)
+		if !freq[sub.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rule is an association rule X => Y with its metrics.
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	Support    int     // support of X ∪ Y
+	Confidence float64 // support(X ∪ Y) / support(X)
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s => %s (support %d, confidence %.2f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// AssociationRules derives all rules X => Y (Y a single item, the
+// common special case) with confidence >= minConfidence from the
+// mining result.
+func AssociationRules(res *Result, minConfidence float64) ([]Rule, error) {
+	if minConfidence <= 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("mining: minConfidence must be in (0, 1], got %v", minConfidence)
+	}
+	support := make(map[string]int, len(res.Frequent))
+	for _, f := range res.Frequent {
+		support[f.Items.Key()] = f.Support
+	}
+	var rules []Rule
+	for _, f := range res.Frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for skip := range f.Items {
+			ante := make(Itemset, 0, len(f.Items)-1)
+			ante = append(ante, f.Items[:skip]...)
+			ante = append(ante, f.Items[skip+1:]...)
+			anteSupp := support[ante.Key()]
+			if anteSupp == 0 {
+				continue
+			}
+			conf := float64(f.Support) / float64(anteSupp)
+			if conf >= minConfidence {
+				rules = append(rules, Rule{
+					Antecedent: ante,
+					Consequent: Itemset{f.Items[skip]},
+					Support:    f.Support,
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].Antecedent.Key()+rules[i].Consequent.Key() < rules[j].Antecedent.Key()+rules[j].Consequent.Key()
+	})
+	return rules, nil
+}

@@ -1,0 +1,240 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func item(attr, val string) Item { return Item{Attr: attr, Value: val} }
+
+// classic toy basket data.
+func basketTxs() []Transaction {
+	mk := func(vals ...string) Transaction {
+		items := make([]Item, len(vals))
+		for i, v := range vals {
+			items[i] = item("item", v)
+		}
+		return NewItemset(items...)
+	}
+	return []Transaction{
+		mk("bread", "milk"),
+		mk("bread", "diapers", "beer", "eggs"),
+		mk("milk", "diapers", "beer", "cola"),
+		mk("bread", "milk", "diapers", "beer"),
+		mk("bread", "milk", "diapers", "cola"),
+	}
+}
+
+func TestNewItemsetNormalizes(t *testing.T) {
+	s := NewItemset(item("b", "2"), item("a", "1"), item("B", "2"))
+	if len(s) != 2 {
+		t.Fatalf("dedup failed: %v", s)
+	}
+	if s[0].Attr != "a" {
+		t.Errorf("not sorted: %v", s)
+	}
+	if s.Key() != "a=1&b=2" {
+		t.Errorf("Key = %q", s.Key())
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := NewItemset(item("a", "1"), item("b", "2"), item("c", "3"))
+	if !s.Contains(NewItemset(item("a", "1"), item("c", "3"))) {
+		t.Error("subset not contained")
+	}
+	if s.Contains(NewItemset(item("a", "1"), item("d", "4"))) {
+		t.Error("non-subset contained")
+	}
+	if !s.Contains(NewItemset()) {
+		t.Error("empty set not contained")
+	}
+	if NewItemset().Contains(s) {
+		t.Error("empty contains non-empty")
+	}
+}
+
+func TestAprioriBaskets(t *testing.T) {
+	res, err := Apriori(basketTxs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known frequent items at support 3: bread(4), milk(4), diapers(4), beer(3).
+	l1 := res.OfSize(1)
+	if len(l1) != 4 {
+		t.Fatalf("L1 = %v", l1)
+	}
+	want2 := map[string]int{
+		"item=bread&item=diapers": 3,
+		"item=bread&item=milk":    3,
+		"item=diapers&item=milk":  3,
+		"item=beer&item=diapers":  3,
+	}
+	l2 := res.OfSize(2)
+	if len(l2) != len(want2) {
+		t.Fatalf("L2 = %v", l2)
+	}
+	for _, f := range l2 {
+		if want2[f.Items.Key()] != f.Support {
+			t.Errorf("L2 %s support %d, want %d", f.Items, f.Support, want2[f.Items.Key()])
+		}
+	}
+	if len(res.OfSize(3)) != 0 {
+		t.Errorf("L3 = %v (no 3-set reaches support 3)", res.OfSize(3))
+	}
+	if res.Lookup(NewItemset(item("item", "bread"), item("item", "milk"))) != 3 {
+		t.Error("Lookup failed")
+	}
+	if res.Lookup(NewItemset(item("item", "cola"))) != 0 {
+		t.Error("infrequent Lookup should be 0")
+	}
+}
+
+func TestAprioriMinSupportOne(t *testing.T) {
+	res, err := Apriori(basketTxs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four of the five transactions contain exactly four items, and
+	// no 4-itemset is shared, so L4 has four sets of support 1.
+	if len(res.OfSize(4)) != 4 {
+		t.Errorf("L4 = %v", res.OfSize(4))
+	}
+	if len(res.OfSize(5)) != 0 {
+		t.Errorf("L5 = %v", res.OfSize(5))
+	}
+}
+
+func TestAprioriErrorsAndEmpty(t *testing.T) {
+	if _, err := Apriori(nil, 0); err == nil {
+		t.Error("minSupport 0 accepted")
+	}
+	res, err := Apriori(nil, 1)
+	if err != nil || len(res.Frequent) != 0 {
+		t.Errorf("empty mining: %v %v", res, err)
+	}
+}
+
+func TestAssociationRules(t *testing.T) {
+	res, err := Apriori(basketTxs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := AssociationRules(res, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beer => diapers has confidence 3/3 = 1.0.
+	found := false
+	for _, r := range rules {
+		if r.Antecedent.Key() == "item=beer" && r.Consequent.Key() == "item=diapers" {
+			found = true
+			if r.Confidence != 1.0 || r.Support != 3 {
+				t.Errorf("beer=>diapers metrics: %+v", r)
+			}
+		}
+		if r.Confidence < 0.9 {
+			t.Errorf("rule below threshold: %v", r)
+		}
+	}
+	if !found {
+		t.Errorf("beer => diapers not derived; rules: %v", rules)
+	}
+	if _, err := AssociationRules(res, 0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+	if _, err := AssociationRules(res, 1.5); err == nil {
+		t.Error("confidence > 1 accepted")
+	}
+}
+
+// Property: every subset of a frequent itemset is frequent with at
+// least the same support (downward closure), checked on random data.
+func TestDownwardClosureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var txs []Transaction
+		for i := 0; i < 30; i++ {
+			var items []Item
+			for a := 0; a < 4; a++ {
+				items = append(items, Item{Attr: string(rune('a' + a)), Value: string(rune('0' + rng.Intn(3)))})
+			}
+			txs = append(txs, NewItemset(items...))
+		}
+		res, err := Apriori(txs, 3)
+		if err != nil {
+			return false
+		}
+		support := map[string]int{}
+		for _, fr := range res.Frequent {
+			support[fr.Items.Key()] = fr.Support
+		}
+		for _, fr := range res.Frequent {
+			if len(fr.Items) < 2 {
+				continue
+			}
+			for skip := range fr.Items {
+				sub := make(Itemset, 0, len(fr.Items)-1)
+				sub = append(sub, fr.Items[:skip]...)
+				sub = append(sub, fr.Items[skip+1:]...)
+				if support[sub.Key()] < fr.Support {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apriori's support counts equal a brute-force count for
+// every reported itemset.
+func TestSupportCountsExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var txs []Transaction
+		for i := 0; i < 25; i++ {
+			var items []Item
+			for a := 0; a < 3; a++ {
+				if rng.Intn(2) == 0 {
+					items = append(items, Item{Attr: string(rune('a' + a)), Value: string(rune('0' + rng.Intn(2)))})
+				}
+			}
+			txs = append(txs, NewItemset(items...))
+		}
+		res, err := Apriori(txs, 2)
+		if err != nil {
+			return false
+		}
+		for _, fr := range res.Frequent {
+			count := 0
+			for _, tx := range txs {
+				if tx.Contains(fr.Items) {
+					count++
+				}
+			}
+			if count != fr.Support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleAndItemStrings(t *testing.T) {
+	r := Rule{
+		Antecedent: NewItemset(item("data", "referral")),
+		Consequent: NewItemset(item("purpose", "registration")),
+		Support:    5, Confidence: 0.8,
+	}
+	s := r.String()
+	if s == "" || item("a", "b").String() != "a=b" {
+		t.Errorf("render: %q", s)
+	}
+}

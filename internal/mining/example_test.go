@@ -1,0 +1,32 @@
+package mining_test
+
+import (
+	"fmt"
+
+	"repro/internal/mining"
+)
+
+// ExampleApriori mines frequent itemsets from audit-style
+// transactions (Agrawal & Srikant, the paper's reference [18]).
+func ExampleApriori() {
+	mk := func(vals ...string) mining.Transaction {
+		items := make([]mining.Item, 0, len(vals)/2)
+		for i := 0; i < len(vals); i += 2 {
+			items = append(items, mining.Item{Attr: vals[i], Value: vals[i+1]})
+		}
+		return mining.NewItemset(items...)
+	}
+	txs := []mining.Transaction{
+		mk("data", "referral", "authorized", "nurse"),
+		mk("data", "referral", "authorized", "nurse"),
+		mk("data", "referral", "authorized", "clerk"),
+	}
+	res, _ := mining.Apriori(txs, 2)
+	for _, f := range res.Frequent {
+		fmt.Printf("%s support=%d\n", f.Items, f.Support)
+	}
+	// Output:
+	// {authorized=nurse} support=2
+	// {data=referral} support=3
+	// {authorized=nurse, data=referral} support=2
+}

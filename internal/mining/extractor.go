@@ -1,0 +1,173 @@
+package mining
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// Extractor adapts Apriori to PRIMA's PatternExtractor interface
+// (core.Options.Extractor). Each practice entry becomes one
+// transaction over the analysis attributes; frequent itemsets that
+// span ALL analysis attributes become full patterns (comparable to
+// the SQL extractor's output), subject to the distinct-user
+// condition. Partial itemsets — the correlations plain SQL misses —
+// are available via Correlations.
+type Extractor struct {
+	// KeepPartial, when set, also returns patterns for frequent
+	// itemsets narrower than the full attribute set. Their rules have
+	// lower cardinality and therefore never match full-width policy
+	// rules; they are surfaced for the privacy officer rather than
+	// for automatic adoption.
+	KeepPartial bool
+}
+
+var _ core.PatternExtractor = Extractor{}
+
+// Extract implements core.PatternExtractor.
+func (x Extractor) Extract(practice []audit.Entry, opts core.Options) ([]core.Pattern, error) {
+	attrs := opts.Attrs
+	if len(attrs) == 0 {
+		attrs = core.DefaultAttrs
+	}
+	minSupport := opts.MinSupport
+	if minSupport == 0 {
+		minSupport = 5
+	}
+	minUsers := opts.MinDistinctUsers
+	if minUsers == 0 {
+		minUsers = 2
+	}
+
+	txs := make([]Transaction, len(practice))
+	for i, e := range practice {
+		items := make([]Item, 0, len(attrs))
+		for _, a := range attrs {
+			v, err := attrValue(e, a)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, Item{Attr: a, Value: v})
+		}
+		txs[i] = NewItemset(items...)
+	}
+	res, err := Apriori(txs, minSupport)
+	if err != nil {
+		return nil, err
+	}
+
+	var patterns []core.Pattern
+	for _, f := range res.Frequent {
+		if !x.KeepPartial && len(f.Items) != len(attrs) {
+			continue
+		}
+		// Evidence pass: distinct users and time window over the
+		// supporting entries.
+		users := make(map[string]bool)
+		var first, last time.Time
+		for i, tx := range txs {
+			if !tx.Contains(f.Items) {
+				continue
+			}
+			e := practice[i]
+			users[vocab.Norm(e.User)] = true
+			if first.IsZero() || e.Time.Before(first) {
+				first = e.Time
+			}
+			if e.Time.After(last) {
+				last = e.Time
+			}
+		}
+		if len(users) < minUsers {
+			continue
+		}
+		terms := make([]policy.Term, len(f.Items))
+		for i, it := range f.Items {
+			terms[i] = policy.T(it.Attr, it.Value)
+		}
+		rule, err := policy.NewRule(terms...)
+		if err != nil {
+			return nil, err
+		}
+		patterns = append(patterns, core.Pattern{
+			Rule:          rule,
+			Support:       f.Support,
+			DistinctUsers: len(users),
+			FirstSeen:     first,
+			LastSeen:      last,
+		})
+	}
+	sort.Slice(patterns, func(i, j int) bool {
+		if patterns[i].Support != patterns[j].Support {
+			return patterns[i].Support > patterns[j].Support
+		}
+		return patterns[i].Rule.Key() < patterns[j].Rule.Key()
+	})
+	return patterns, nil
+}
+
+// Correlations mines the practice entries and returns only the
+// *partial* frequent itemsets (narrower than the full attribute set):
+// the attribute-pair correlations the paper's §5 says simple SQL
+// queries do not discover.
+func Correlations(practice []audit.Entry, attrs []string, minSupport int) ([]Frequent, error) {
+	if len(attrs) == 0 {
+		attrs = core.DefaultAttrs
+	}
+	txs := make([]Transaction, len(practice))
+	for i, e := range practice {
+		items := make([]Item, 0, len(attrs))
+		for _, a := range attrs {
+			v, err := attrValue(e, a)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, Item{Attr: a, Value: v})
+		}
+		txs[i] = NewItemset(items...)
+	}
+	res, err := Apriori(txs, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	var out []Frequent
+	for _, f := range res.Frequent {
+		if len(f.Items) >= 2 && len(f.Items) < len(attrs) {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+func attrValue(e audit.Entry, attr string) (string, error) {
+	switch vocab.Norm(attr) {
+	case "data":
+		return e.Data, nil
+	case "purpose":
+		return e.Purpose, nil
+	case "authorized":
+		return e.Authorized, nil
+	case "user":
+		return e.User, nil
+	case "op":
+		if e.Op == audit.Allow {
+			return "1", nil
+		}
+		return "0", nil
+	case "status":
+		if e.Status == audit.Regular {
+			return "1", nil
+		}
+		return "0", nil
+	default:
+		return "", errBadAttr(attr)
+	}
+}
+
+type errBadAttr string
+
+func (e errBadAttr) Error() string { return "mining: invalid analysis attribute " + string(e) }

@@ -1,0 +1,132 @@
+package mining
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// TestExtractorMatchesSQLOnTable1 checks that on the paper's Table 1
+// the Apriori-backed extractor finds the same full-width pattern as
+// the SQL extractor.
+func TestExtractorMatchesSQLOnTable1(t *testing.T) {
+	practice := core.Filter(scenario.Table1())
+	patterns, err := Extractor{}.Extract(practice, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 1 {
+		t.Fatalf("patterns = %v", patterns)
+	}
+	p := patterns[0]
+	if p.Rule.Key() != scenario.RefinementPattern().Key() {
+		t.Errorf("rule = %s", p.Rule)
+	}
+	if p.Support != 5 || p.DistinctUsers != 3 {
+		t.Errorf("support/users = %d/%d", p.Support, p.DistinctUsers)
+	}
+	if p.FirstSeen.IsZero() || !p.LastSeen.After(p.FirstSeen) {
+		t.Errorf("evidence window: %v .. %v", p.FirstSeen, p.LastSeen)
+	}
+}
+
+// TestCorrelationsBeyondSQL builds the §5 scenario: a (data, role)
+// correlation spread over many purposes so that no single
+// (data, purpose, authorized) tuple reaches the support threshold,
+// yet the pair is strongly frequent. The SQL extractor (exact tuples)
+// misses it; Apriori finds it.
+func TestCorrelationsBeyondSQL(t *testing.T) {
+	base := time.Date(2007, 4, 1, 8, 0, 0, 0, time.UTC)
+	purposes := []string{"treatment", "registration", "billing", "research"}
+	users := []string{"a", "b", "c"}
+	var entries []audit.Entry
+	for i := 0; i < 8; i++ {
+		entries = append(entries, audit.Entry{
+			Time: base.Add(time.Duration(i) * time.Minute), Op: audit.Allow,
+			User: users[i%len(users)], Data: "lab_result",
+			Purpose: purposes[i%len(purposes)], Authorized: "lab_tech",
+			Status: audit.Exception,
+		})
+	}
+	// SQL-style extraction at f=5 finds nothing: each full tuple
+	// occurs at most twice.
+	sqlPats, err := core.ExtractPatterns(entries, core.Options{MinSupport: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sqlPats) != 0 {
+		t.Fatalf("SQL should miss the spread pattern, found %v", sqlPats)
+	}
+	// Apriori at the same support finds the (data, authorized) pair.
+	corrs, err := Correlations(entries, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range corrs {
+		if c.Items.Key() == "authorized=lab_tech&data=lab_result" && c.Support == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pair correlation missing: %v", corrs)
+	}
+}
+
+func TestExtractorKeepPartial(t *testing.T) {
+	practice := core.Filter(scenario.Table1())
+	full, err := Extractor{}.Extract(practice, core.Options{MinSupport: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Extractor{KeepPartial: true}.Extract(practice, core.Options{MinSupport: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) <= len(full) {
+		t.Errorf("KeepPartial added nothing: %d vs %d", len(partial), len(full))
+	}
+	for _, p := range partial {
+		if p.DistinctUsers < 2 {
+			t.Errorf("distinct-user condition not applied to %v", p)
+		}
+	}
+}
+
+func TestExtractorViaRefinement(t *testing.T) {
+	// The adapter slots into Algorithm 2 via Options.Extractor.
+	v := scenario.Vocabulary()
+	patterns, err := core.Refinement(scenario.PolicyStore(), scenario.Table1(), v,
+		core.Options{Extractor: Extractor{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 1 || patterns[0].Rule.Key() != scenario.RefinementPattern().Key() {
+		t.Errorf("refinement with mining extractor: %v", patterns)
+	}
+}
+
+func TestExtractorBadAttr(t *testing.T) {
+	entries := core.Filter(scenario.Table1())
+	if _, err := (Extractor{}).Extract(entries, core.Options{Attrs: []string{"nosuch"}}); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	if _, err := Correlations(entries, []string{"nope"}, 2); err == nil {
+		t.Error("bad attribute accepted in Correlations")
+	}
+}
+
+func TestAttrValueCoverage(t *testing.T) {
+	e := audit.Entry{Op: audit.Deny, Status: audit.Regular, User: "u", Data: "d", Purpose: "p", Authorized: "r"}
+	for attr, want := range map[string]string{
+		"op": "0", "status": "1", "user": "u", "data": "d", "purpose": "p", "authorized": "r",
+	} {
+		got, err := attrValue(e, attr)
+		if err != nil || got != want {
+			t.Errorf("attrValue(%s) = %q, %v", attr, got, err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package policy
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseRule parses a rule from its compact text form, a list of
+// attr=value pairs separated by '&' or ',':
+//
+//	data=referral & purpose=treatment & authorized=nurse
+func ParseRule(s string) (Rule, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == '&' || r == ',' })
+	var terms []Term
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		attr, value, ok := strings.Cut(f, "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("policy: term %q is not attr=value", f)
+		}
+		attr = strings.TrimSpace(attr)
+		value = strings.TrimSpace(value)
+		if strings.ContainsAny(attr, " \t") || strings.ContainsAny(value, " \t") {
+			return Rule{}, fmt.Errorf("policy: term %q: attribute and value must be single tokens", f)
+		}
+		terms = append(terms, Term{Attr: attr, Value: value})
+	}
+	if len(terms) == 0 {
+		return Rule{}, fmt.Errorf("policy: empty rule %q", s)
+	}
+	return NewRule(terms...)
+}
+
+// Compact renders the rule in the form accepted by ParseRule.
+func (r Rule) Compact() string {
+	parts := make([]string, len(r.terms))
+	for i, t := range r.terms {
+		parts[i] = t.Attr + "=" + t.Value
+	}
+	return strings.Join(parts, " & ")
+}
+
+// ParsePolicy reads a policy in text form: one rule per line in
+// ParseRule syntax; blank lines and '#' comments ignored.
+func ParsePolicy(name string, r io.Reader) (*Policy, error) {
+	p := New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("policy: line %d: %w", lineNo, err)
+		}
+		p.Add(rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("policy: read: %w", err)
+	}
+	return p, nil
+}
+
+// ParsePolicyString is ParsePolicy over a string.
+func ParsePolicyString(name, s string) (*Policy, error) {
+	return ParsePolicy(name, strings.NewReader(s))
+}
+
+// WriteText writes the policy in the form accepted by ParsePolicy.
+func (p *Policy) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	rules := p.Rules()
+	if _, err := fmt.Fprintf(bw, "# policy %s (%d rules)\n", p.Name, len(rules)); err != nil {
+		return err
+	}
+	for _, r := range rules {
+		if _, err := fmt.Fprintln(bw, r.Compact()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TextString renders the policy in text form.
+func (p *Policy) TextString() string {
+	var b strings.Builder
+	_ = p.WriteText(&b)
+	return b.String()
+}
+
+// MarshalJSON encodes the rule as its term list.
+func (r Rule) MarshalJSON() ([]byte, error) { return json.Marshal(r.terms) }
+
+// UnmarshalJSON decodes and normalizes a rule from a term list.
+func (r *Rule) UnmarshalJSON(data []byte) error {
+	var terms []Term
+	if err := json.Unmarshal(data, &terms); err != nil {
+		return fmt.Errorf("policy: %w", err)
+	}
+	nr, err := NewRule(terms...)
+	if err != nil {
+		return err
+	}
+	*r = nr
+	return nil
+}
+
+type jsonPolicy struct {
+	Name  string `json:"name"`
+	Rules []Rule `json:"rules"`
+}
+
+// MarshalJSON encodes the policy with its name and rules.
+func (p *Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonPolicy{Name: p.Name, Rules: p.Rules()})
+}
+
+// UnmarshalJSON decodes a policy, deduplicating rules.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var jp jsonPolicy
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return fmt.Errorf("policy: %w", err)
+	}
+	np := New(jp.Name)
+	for _, r := range jp.Rules {
+		np.Add(r)
+	}
+	p.Name = np.Name
+	p.SetRules(np.Rules())
+	return nil
+}

@@ -1,0 +1,60 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// ExampleRule_Groundings expands the paper's example composite rule
+// "clerks may see demographic data for billing" into its ground rules
+// (Definition 3 applied through Corollary 1).
+func ExampleRule_Groundings() {
+	v := vocab.Sample()
+	r := policy.MustRule(
+		policy.T("data", "demographic"),
+		policy.T("purpose", "billing"),
+		policy.T("authorized", "clerk"),
+	)
+	grounds, _ := r.Groundings(v, 0)
+	for _, g := range grounds {
+		fmt.Println(g.Compact())
+	}
+	// Output:
+	// authorized=clerk & data=address & purpose=billing
+	// authorized=clerk & data=birthdate & purpose=billing
+	// authorized=clerk & data=gender & purpose=billing
+	// authorized=clerk & data=phone & purpose=billing
+}
+
+// ExampleTerm_Equivalent shows Definition 4's worked example: both
+// (data, address) and (data, gender) are equivalent to
+// (data, demographic).
+func ExampleTerm_Equivalent() {
+	v := vocab.Sample()
+	rt1 := policy.T("data", "demographic")
+	rt2 := policy.T("data", "address")
+	rt3 := policy.T("data", "gender")
+	fmt.Println(rt2.Equivalent(rt1, v), rt3.Equivalent(rt1, v), rt2.Equivalent(rt3, v))
+	// Output: true true false
+}
+
+// ExampleParseRule parses the compact rule syntax used by policy
+// files and the control center.
+func ExampleParseRule() {
+	r, _ := policy.ParseRule("data=insurance & purpose=billing & authorized=nurse")
+	fmt.Println(r)
+	// Output: {(authorized, nurse) ∧ (data, insurance) ∧ (purpose, billing)}
+}
+
+// ExampleNewRange computes Range_P (Definition 8) for a small policy.
+func ExampleNewRange() {
+	v := vocab.Sample()
+	p := policy.FromRules("PS",
+		policy.MustRule(policy.T("data", "general"), policy.T("purpose", "treatment")),
+	)
+	rg, _ := policy.NewRange(p, v, 0)
+	fmt.Println(rg.Len(), "ground rules")
+	// Output: 3 ground rules
+}

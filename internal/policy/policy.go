@@ -1,0 +1,264 @@
+// Package policy implements the formal privacy-policy model of PRIMA
+// (Bhatti & Grandison, 2007), Section 3.1: RuleTerms (Definition 1),
+// ground and composite terms (Definition 2), Rules as conjunctions of
+// RuleTerms (Definition 5), Policies as collections of Rules
+// (Definition 7), the equivalence relations of Definitions 4 and 6,
+// and the Range of a policy (Definition 8).
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vocab"
+)
+
+// Term is a RuleTerm (Definition 1): the assignment of a value to an
+// attribute, e.g. (data, demographic).
+type Term struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+// T is shorthand for constructing a Term.
+func T(attr, value string) Term { return Term{Attr: attr, Value: value} }
+
+// String renders the term in the paper's notation.
+func (t Term) String() string { return "(" + t.Attr + ", " + t.Value + ")" }
+
+// Key returns the normalized comparison key of the term.
+func (t Term) Key() string { return vocab.Norm(t.Attr) + "=" + vocab.Norm(t.Value) }
+
+// IsGround reports whether the term is ground with respect to v
+// (Definition 2).
+func (t Term) IsGround(v *vocab.Vocabulary) bool { return v.IsGround(t.Attr, t.Value) }
+
+// GroundTerms returns the set RT' of ground terms derivable from t
+// (Definition 3), in deterministic order.
+func (t Term) GroundTerms(v *vocab.Vocabulary) []Term {
+	values := v.GroundSet(t.Attr, t.Value)
+	out := make([]Term, len(values))
+	for i, val := range values {
+		out[i] = Term{Attr: t.Attr, Value: val}
+	}
+	return out
+}
+
+// Equivalent reports whether t ≈ u under v (Definition 4): the terms
+// share an attribute and their ground sets intersect.
+func (t Term) Equivalent(u Term, v *vocab.Vocabulary) bool {
+	if vocab.Norm(t.Attr) != vocab.Norm(u.Attr) {
+		return false
+	}
+	return v.Equivalent(t.Attr, t.Value, u.Value)
+}
+
+// Rule is a conjunction of RuleTerms (Definition 5). Rules are kept
+// normalized: terms sorted by attribute then value, with exact
+// duplicates removed. The paper's cardinality #R is Len().
+type Rule struct {
+	terms []Term
+}
+
+// NewRule builds a normalized rule from terms. It is an error to
+// construct an empty rule (Definition 5 requires n ≥ 1) or a rule with
+// two different values for the same attribute: a Rule models one
+// specific combination of attribute assignments.
+func NewRule(terms ...Term) (Rule, error) {
+	if len(terms) == 0 {
+		return Rule{}, fmt.Errorf("policy: a rule requires at least one term")
+	}
+	byAttr := make(map[string]Term, len(terms))
+	for _, t := range terms {
+		if vocab.Norm(t.Attr) == "" {
+			return Rule{}, fmt.Errorf("policy: term %v has an empty attribute", t)
+		}
+		if vocab.Norm(t.Value) == "" {
+			return Rule{}, fmt.Errorf("policy: term %v has an empty value", t)
+		}
+		key := vocab.Norm(t.Attr)
+		if prev, ok := byAttr[key]; ok {
+			if prev.Key() != t.Key() {
+				return Rule{}, fmt.Errorf("policy: conflicting terms %v and %v for attribute %q", prev, t, t.Attr)
+			}
+			continue
+		}
+		byAttr[key] = t
+	}
+	norm := make([]Term, 0, len(byAttr))
+	for _, t := range byAttr {
+		norm = append(norm, t)
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if a, b := vocab.Norm(norm[i].Attr), vocab.Norm(norm[j].Attr); a != b {
+			return a < b
+		}
+		return vocab.Norm(norm[i].Value) < vocab.Norm(norm[j].Value)
+	})
+	return Rule{terms: norm}, nil
+}
+
+// MustRule is NewRule that panics on error; for static data.
+func MustRule(terms ...Term) Rule {
+	r, err := NewRule(terms...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Terms returns the rule's terms in normalized order. The returned
+// slice must not be modified.
+func (r Rule) Terms() []Term { return r.terms }
+
+// Len is the cardinality #R of the rule.
+func (r Rule) Len() int { return len(r.terms) }
+
+// IsZero reports whether the rule is the zero value (no terms).
+func (r Rule) IsZero() bool { return len(r.terms) == 0 }
+
+// Value returns the value the rule assigns to attr and whether the
+// attribute is present.
+func (r Rule) Value(attr string) (string, bool) {
+	key := vocab.Norm(attr)
+	for _, t := range r.terms {
+		if vocab.Norm(t.Attr) == key {
+			return t.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the rule in the paper's notation,
+// {(a1, v1) ∧ (a2, v2) ∧ ...}.
+func (r Rule) String() string {
+	parts := make([]string, len(r.terms))
+	for i, t := range r.terms {
+		parts[i] = t.String()
+	}
+	return "{" + strings.Join(parts, " ∧ ") + "}"
+}
+
+// Key returns a canonical comparison key. Two rules have equal keys
+// iff they contain exactly the same normalized terms.
+func (r Rule) Key() string {
+	parts := make([]string, len(r.terms))
+	for i, t := range r.terms {
+		parts[i] = t.Key()
+	}
+	return strings.Join(parts, "&")
+}
+
+// IsGround reports whether every term of the rule is ground under v.
+func (r Rule) IsGround(v *vocab.Vocabulary) bool {
+	for _, t := range r.terms {
+		if !t.IsGround(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new rule containing only the terms whose
+// attributes appear in attrs. It returns the zero Rule if none match.
+func (r Rule) Project(attrs ...string) Rule {
+	keep := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		keep[vocab.Norm(a)] = true
+	}
+	var terms []Term
+	for _, t := range r.terms {
+		if keep[vocab.Norm(t.Attr)] {
+			terms = append(terms, t)
+		}
+	}
+	return Rule{terms: terms}
+}
+
+// Groundings enumerates the ground rules derivable from r under v:
+// the cartesian product of each term's ground set (Corollary 1).
+// The enumeration is deterministic. limit > 0 bounds the number of
+// rules produced; the bool result reports whether the enumeration was
+// truncated.
+func (r Rule) Groundings(v *vocab.Vocabulary, limit int) ([]Rule, bool) {
+	sets := make([][]Term, len(r.terms))
+	total := 1
+	for i, t := range r.terms {
+		sets[i] = t.GroundTerms(v)
+		total *= len(sets[i])
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	out := make([]Rule, 0, total)
+	idx := make([]int, len(sets))
+	truncated := false
+	for {
+		terms := make([]Term, len(sets))
+		for i, j := range idx {
+			terms[i] = sets[i][j]
+		}
+		out = append(out, Rule{terms: terms})
+		if limit > 0 && len(out) >= limit {
+			// Check whether anything remains.
+			for i := len(idx) - 1; i >= 0; i-- {
+				if idx[i]+1 < len(sets[i]) {
+					truncated = true
+					break
+				}
+			}
+			break
+		}
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(sets[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, truncated
+}
+
+// Equivalent reports whether r ≈ u under v (Definition 6): the rules
+// have the same cardinality and every term of r is equivalent to some
+// term of u.
+func (r Rule) Equivalent(u Rule, v *vocab.Vocabulary) bool {
+	if r.Len() != u.Len() {
+		return false
+	}
+	for _, t := range r.terms {
+		found := false
+		for _, s := range u.terms {
+			if t.Equivalent(s, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether r subsumes ground rule g: same attributes,
+// and each of r's values subsumes g's value in the vocabulary. This is
+// the practical containment test used to explain coverage gaps.
+func (r Rule) Covers(g Rule, v *vocab.Vocabulary) bool {
+	if r.Len() != g.Len() {
+		return false
+	}
+	for _, t := range r.terms {
+		gv, ok := g.Value(t.Attr)
+		if !ok || !v.Subsumes(t.Attr, t.Value, gv) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,235 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/vocab"
+)
+
+// Policy is a collection of rules symbolically tied to a data store
+// (Definition 7): the policy store P_PS or the audit logs P_AL.
+// Policies are safe for concurrent use: in a PRIMA deployment the
+// enforcement middleware reads the store while refinement sessions
+// adopt rules into it.
+type Policy struct {
+	Name string // e.g. "PS" (policy store) or "AL" (audit logs)
+
+	mu    sync.RWMutex
+	rules []Rule
+}
+
+// New returns an empty policy with the given name.
+func New(name string) *Policy { return &Policy{Name: name} }
+
+// FromRules builds a policy from rules, skipping exact duplicates.
+func FromRules(name string, rules ...Rule) *Policy {
+	p := New(name)
+	for _, r := range rules {
+		p.Add(r)
+	}
+	return p
+}
+
+// Add appends rule r unless an identical rule is already present.
+// It reports whether the rule was added.
+func (p *Policy) Add(r Rule) bool {
+	if r.IsZero() {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addLocked(r)
+}
+
+func (p *Policy) addLocked(r Rule) bool {
+	key := r.Key()
+	for _, e := range p.rules {
+		if e.Key() == key {
+			return false
+		}
+	}
+	p.rules = append(p.rules, r)
+	return true
+}
+
+// Remove deletes the rule with the same canonical key, reporting
+// whether a rule was removed.
+func (p *Policy) Remove(r Rule) bool {
+	key := r.Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, e := range p.rules {
+		if e.Key() == key {
+			p.rules = append(p.rules[:i:i], p.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns a copy of the policy's rules in insertion order.
+func (p *Policy) Rules() []Rule {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Rule, len(p.rules))
+	copy(out, p.rules)
+	return out
+}
+
+// SetRules replaces the policy's rules wholesale (deduplicated),
+// keeping the Policy identity — callers holding a reference (the
+// enforcer, a refinement session) observe the new rule set.
+func (p *Policy) SetRules(rules []Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = p.rules[:0:0]
+	for _, r := range rules {
+		if !r.IsZero() {
+			p.addLocked(r)
+		}
+	}
+}
+
+// Len is the cardinality #P of the policy.
+func (p *Policy) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.rules)
+}
+
+// Contains reports whether an identical rule is present.
+func (p *Policy) Contains(r Rule) bool {
+	key := r.Key()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, e := range p.rules {
+		if e.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGround reports whether every rule is ground under v.
+func (p *Policy) IsGround(v *vocab.Vocabulary) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, r := range p.rules {
+		if !r.IsGround(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the policy sharing no mutable state.
+func (p *Policy) Clone() *Policy {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := New(p.Name)
+	out.rules = append([]Rule(nil), p.rules...)
+	return out
+}
+
+// String renders the policy one rule per line.
+func (p *Policy) String() string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	s := p.Name + ":\n"
+	for i, r := range p.rules {
+		s += fmt.Sprintf("  %d. %s\n", i+1, r)
+	}
+	return s
+}
+
+// Range is the set of ground rules derivable from a policy
+// (Definition 8), deduplicated by canonical key.
+type Range struct {
+	rules []Rule
+	keys  map[string]int // canonical key -> index into rules
+}
+
+// DefaultRangeLimit bounds range expansion; composite rules over wide
+// vocabularies explode combinatorially and an unbounded expansion is a
+// denial-of-service hazard for a policy service.
+const DefaultRangeLimit = 1 << 20
+
+// ErrRangeTooLarge is returned when range expansion exceeds the limit.
+var ErrRangeTooLarge = fmt.Errorf("policy: range expansion exceeds limit")
+
+// NewRange computes Range_P under v (the paper's getRange(P, V)).
+// limit ≤ 0 applies DefaultRangeLimit.
+func NewRange(p *Policy, v *vocab.Vocabulary, limit int) (*Range, error) {
+	if limit <= 0 {
+		limit = DefaultRangeLimit
+	}
+	rg := &Range{keys: make(map[string]int)}
+	for _, r := range p.Rules() {
+		grounds, truncated := r.Groundings(v, limit-len(rg.rules)+1)
+		if truncated || len(rg.rules)+len(grounds) > limit {
+			return nil, fmt.Errorf("%w (limit %d) expanding %s", ErrRangeTooLarge, limit, r)
+		}
+		for _, g := range grounds {
+			rg.add(g)
+		}
+	}
+	return rg, nil
+}
+
+func (rg *Range) add(g Rule) {
+	key := g.Key()
+	if _, ok := rg.keys[key]; ok {
+		return
+	}
+	rg.keys[key] = len(rg.rules)
+	rg.rules = append(rg.rules, g)
+}
+
+// Len is the cardinality #Range_P.
+func (rg *Range) Len() int { return len(rg.rules) }
+
+// Rules returns the ground rules in first-derived order.
+func (rg *Range) Rules() []Rule { return rg.rules }
+
+// Contains reports whether ground rule g is in the range.
+func (rg *Range) Contains(g Rule) bool {
+	_, ok := rg.keys[g.Key()]
+	return ok
+}
+
+// Intersect returns the rules common to rg and other, using rule
+// identity over canonical keys (ground-rule equivalence, Definition 6).
+func (rg *Range) Intersect(other *Range) []Rule {
+	var out []Rule
+	for _, r := range rg.rules {
+		if other.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Complement returns the rules of rg that are not in other — the
+// paper's getComplement used by Prune (Algorithm 6).
+func (rg *Range) Complement(other *Range) []Rule {
+	var out []Rule
+	for _, r := range rg.rules {
+		if !other.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Keys returns the sorted canonical keys of the range; useful for
+// deterministic comparisons in tests.
+func (rg *Range) Keys() []string {
+	out := make([]string, 0, len(rg.keys))
+	for k := range rg.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+// Package scenario provides the paper's worked examples as reusable
+// fixtures: the Figure 1 vocabulary, the Figure 3 policy store and
+// audit-log policy, and the Table 1 audit trail, together with the
+// results the paper states for them (coverage 50 %, coverage 30 %,
+// the refinement pattern Referral:Registration:Nurse, and the
+// post-adoption coverage). Tests, examples, commands and benchmarks
+// all share these fixtures so the numbers are defined exactly once.
+package scenario
+
+import (
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// Vocabulary returns the Figure 1 vocabulary.
+func Vocabulary() *vocab.Vocabulary { return vocab.Sample() }
+
+// PolicyStore returns the reconstructed Figure 3 policy store P_PS:
+// three composite rules (see DESIGN.md for the reconstruction):
+//
+//  1. nurses may access general clinical data for treatment
+//  2. psychiatrists may access psychiatry data for treatment
+//  3. clerks may access demographic data for billing
+func PolicyStore() *policy.Policy {
+	return policy.FromRules("PS",
+		policy.MustRule(
+			policy.T("data", "general"),
+			policy.T("purpose", "treatment"),
+			policy.T("authorized", "nurse"),
+		),
+		policy.MustRule(
+			policy.T("data", "psychiatry"),
+			policy.T("purpose", "treatment"),
+			policy.T("authorized", "psychiatrist"),
+		),
+		policy.MustRule(
+			policy.T("data", "demographic"),
+			policy.T("purpose", "billing"),
+			policy.T("authorized", "clerk"),
+		),
+	)
+}
+
+// Figure3AuditPolicy returns the Figure 3 audit-log policy P_AL: six
+// ground rules, of which 1, 2 and 5 are covered by P_PS and 3, 4 and
+// 6 are the exception scenarios the paper explains.
+func Figure3AuditPolicy() *policy.Policy {
+	mk := func(data, purpose, role string) policy.Rule {
+		return policy.MustRule(
+			policy.T("data", data),
+			policy.T("purpose", purpose),
+			policy.T("authorized", role),
+		)
+	}
+	return policy.FromRules("AL",
+		mk("prescription", "treatment", "nurse"), // 1: matched (1a/1b family)
+		mk("referral", "treatment", "nurse"),     // 2: matched
+		mk("referral", "registration", "nurse"),  // 3: exception
+		mk("psychiatry", "treatment", "nurse"),   // 4: exception
+		mk("address", "billing", "clerk"),        // 5: matched (3a)
+		mk("prescription", "billing", "clerk"),   // 6: exception
+	)
+}
+
+// Figure3Coverage is the coverage the paper computes for Figure 3.
+const Figure3Coverage = 0.5 // 3/6
+
+// Table1Base is the timestamp assigned to t1; successive rows are one
+// hour apart. The paper gives only symbolic times t1..t10.
+var Table1Base = time.Date(2007, time.March, 1, 8, 0, 0, 0, time.UTC)
+
+// Table1 returns the audit trail of Table 1 verbatim: ten allowed
+// accesses, six of them exception-based.
+func Table1() []audit.Entry {
+	row := func(i int, user, data, purpose, role string, st audit.Status) audit.Entry {
+		return audit.Entry{
+			Time:       Table1Base.Add(time.Duration(i-1) * time.Hour),
+			Op:         audit.Allow,
+			User:       user,
+			Data:       data,
+			Purpose:    purpose,
+			Authorized: role,
+			Status:     st,
+		}
+	}
+	return []audit.Entry{
+		row(1, "John", "Prescription", "Treatment", "Nurse", audit.Regular),
+		row(2, "Tim", "Referral", "Treatment", "Nurse", audit.Regular),
+		row(3, "Mark", "Referral", "Registration", "Nurse", audit.Exception),
+		row(4, "Sarah", "Psychiatry", "Treatment", "Doctor", audit.Exception),
+		row(5, "Bill", "Address", "Billing", "Clerk", audit.Regular),
+		row(6, "Jason", "Prescription", "Billing", "Clerk", audit.Exception),
+		row(7, "Mark", "Referral", "Registration", "Nurse", audit.Exception),
+		row(8, "Tim", "Referral", "Registration", "Nurse", audit.Exception),
+		row(9, "Bob", "Referral", "Registration", "Nurse", audit.Exception),
+		row(10, "Mark", "Referral", "Registration", "Nurse", audit.Exception),
+	}
+}
+
+// Table1Coverage is the coverage the paper computes over the Table 1
+// snapshot, counting each audit row ("the ratio of matching rules to
+// total rules ... is now 3/10").
+const Table1Coverage = 0.3
+
+// Table1PostAdoptionCoverage is the row coverage after the discovered
+// pattern is adopted into P_PS: rows t1, t2, t5 plus t3 and t7–t10
+// become covered (8/10).
+const Table1PostAdoptionCoverage = 0.8
+
+// RefinementPattern is the single pattern the §5 walk-through
+// discovers: Referral : Registration : Nurse.
+func RefinementPattern() policy.Rule {
+	return policy.MustRule(
+		policy.T("data", "Referral"),
+		policy.T("purpose", "Registration"),
+		policy.T("authorized", "Nurse"),
+	)
+}
+
+// Table1PracticeSize is the number of Table 1 rows that survive
+// Filter (the exception-based rows t3, t4, t6–t10).
+const Table1PracticeSize = 7
+
+// RefinementSupport is how many Practice rows carry the discovered
+// pattern (t3, t7–t10).
+const RefinementSupport = 5
+
+// RefinementDistinctUsers is how many distinct users exhibit the
+// pattern (Mark, Tim, Bob).
+const RefinementDistinctUsers = 3

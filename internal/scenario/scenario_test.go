@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// TestFixturesAreVocabularyConsistent guards the reconstruction: every
+// term used by the fixtures must exist in the Figure 1 vocabulary,
+// otherwise coverage silently treats it as an unknown atomic value.
+func TestFixturesAreVocabularyConsistent(t *testing.T) {
+	v := Vocabulary()
+	checkPolicy := func(name string, p *policy.Policy) {
+		for _, r := range p.Rules() {
+			for _, term := range r.Terms() {
+				h := v.Hierarchy(term.Attr)
+				if h == nil {
+					t.Errorf("%s: unknown attribute %q", name, term.Attr)
+					continue
+				}
+				if !h.Contains(term.Value) {
+					t.Errorf("%s: %s=%s not in vocabulary", name, term.Attr, term.Value)
+				}
+			}
+		}
+	}
+	checkPolicy("P_PS", PolicyStore())
+	checkPolicy("P_AL", Figure3AuditPolicy())
+	for i, e := range Table1() {
+		if err := e.Validate(); err != nil {
+			t.Errorf("t%d: %v", i+1, err)
+		}
+		if !v.Hierarchy("data").Contains(e.Data) {
+			t.Errorf("t%d: data %q not in vocabulary", i+1, e.Data)
+		}
+		if !v.Hierarchy("purpose").Contains(e.Purpose) {
+			t.Errorf("t%d: purpose %q not in vocabulary", i+1, e.Purpose)
+		}
+		if !v.Hierarchy("authorized").Contains(e.Authorized) {
+			t.Errorf("t%d: role %q not in vocabulary", i+1, e.Authorized)
+		}
+	}
+}
+
+// TestTable1MatchesPaperRows pins the verbatim Table 1 content.
+func TestTable1MatchesPaperRows(t *testing.T) {
+	entries := Table1()
+	if len(entries) != 10 {
+		t.Fatalf("rows = %d", len(entries))
+	}
+	// Exceptions at t3, t4, t6, t7, t8, t9, t10.
+	wantException := map[int]bool{3: true, 4: true, 6: true, 7: true, 8: true, 9: true, 10: true}
+	for i, e := range entries {
+		want := audit.Regular
+		if wantException[i+1] {
+			want = audit.Exception
+		}
+		if e.Status != want {
+			t.Errorf("t%d status = %v", i+1, e.Status)
+		}
+		if e.Op != audit.Allow {
+			t.Errorf("t%d op = %v (Table 1 is all allows)", i+1, e.Op)
+		}
+		if i > 0 && !entries[i].Time.After(entries[i-1].Time) {
+			t.Errorf("t%d not after t%d", i+1, i)
+		}
+	}
+	if entries[3].User != "Sarah" || entries[3].Authorized != "Doctor" {
+		t.Errorf("t4 = %+v (paper: Sarah / Doctor)", entries[3])
+	}
+}
+
+// TestFigure3RulesAreGroundAuditSide guards the Def. 8 accounting:
+// each Figure 3 audit rule must be ground so the range counts one
+// element per row.
+func TestFigure3RulesAreGroundAuditSide(t *testing.T) {
+	v := Vocabulary()
+	al := Figure3AuditPolicy()
+	if al.Len() != 6 {
+		t.Fatalf("P_AL has %d rules", al.Len())
+	}
+	if !al.IsGround(v) {
+		t.Error("P_AL must be ground (it is an audit-log policy)")
+	}
+	ps := PolicyStore()
+	if ps.Len() != 3 {
+		t.Fatalf("P_PS has %d rules", ps.Len())
+	}
+	if ps.IsGround(v) {
+		t.Error("P_PS should be composite (abstract-level rules)")
+	}
+}
+
+// TestConstantsAgree cross-checks the stated constants against each
+// other (the heavy verification lives in internal/core).
+func TestConstantsAgree(t *testing.T) {
+	if Figure3Coverage != 0.5 || Table1Coverage != 0.3 || Table1PostAdoptionCoverage != 0.8 {
+		t.Error("paper constants drifted")
+	}
+	if Table1PracticeSize != 7 || RefinementSupport != 5 || RefinementDistinctUsers != 3 {
+		t.Error("refinement constants drifted")
+	}
+	r := RefinementPattern()
+	if r.Key() != "authorized=nurse&data=referral&purpose=registration" {
+		t.Errorf("pattern key = %q", r.Key())
+	}
+	if !r.IsGround(vocab.Sample()) {
+		t.Error("the §5 pattern must be ground")
+	}
+}

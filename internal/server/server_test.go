@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	prima "repro"
+	"repro/internal/scenario"
+)
+
+func newServer(t *testing.T) (*Server, *prima.System) {
+	t.Helper()
+	sys := prima.New(prima.Config{Policy: scenario.PolicyStore()})
+	step := 0
+	base := time.Date(2007, 3, 1, 8, 0, 0, 0, time.UTC)
+	sys.SetClock(func() time.Time { step++; return base.Add(time.Duration(step) * time.Second) })
+	sys.DB().MustExec(`CREATE TABLE records (patient TEXT, referral TEXT, psychiatry TEXT)`)
+	sys.DB().MustExec(`INSERT INTO records VALUES ('p1','cardio','none'), ('p2','derm','anxiety')`)
+	if err := sys.RegisterTable(prima.TableMapping{
+		Table: "records", PatientCol: "patient",
+		Categories: map[string]string{"referral": "referral", "psychiatry": "psychiatry"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return New(sys), sys
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeBody[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("bad body %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := newServer(t)
+	rec := do(t, s, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, _ := newServer(t)
+	rec := do(t, s, http.MethodPost, "/query", QueryRequest{
+		User: "tim", Role: "nurse", Purpose: "treatment", SQL: "SELECT referral FROM records",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeBody[QueryResponse](t, rec)
+	if len(resp.Rows) != 2 || resp.Columns[0] != "referral" {
+		t.Errorf("resp = %+v", resp)
+	}
+	// Denied query → 403.
+	rec = do(t, s, http.MethodPost, "/query", QueryRequest{
+		User: "mark", Role: "nurse", Purpose: "registration", SQL: "SELECT referral FROM records",
+	})
+	if rec.Code != http.StatusForbidden {
+		t.Errorf("denied status = %d", rec.Code)
+	}
+	// Bad SQL → 400.
+	rec = do(t, s, http.MethodPost, "/query", QueryRequest{
+		User: "tim", Role: "nurse", Purpose: "treatment", SQL: "SELEC",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad sql status = %d", rec.Code)
+	}
+	// Wrong method → 405; malformed body → 400.
+	if rec := do(t, s, http.MethodGet, "/query", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("method status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("{nope"))
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", rr.Code)
+	}
+}
+
+func TestBreakGlassAndRefineFlow(t *testing.T) {
+	s, _ := newServer(t)
+	for _, u := range []string{"mark", "tim", "bob", "mark", "tim"} {
+		rec := do(t, s, http.MethodPost, "/breakglass", QueryRequest{
+			User: u, Role: "nurse", Purpose: "registration",
+			Reason: "front desk backlog", SQL: "SELECT referral FROM records",
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("breakglass status = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	// Missing reason rejected.
+	rec := do(t, s, http.MethodPost, "/breakglass", QueryRequest{
+		User: "mark", Role: "nurse", Purpose: "registration", SQL: "SELECT referral FROM records",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("reasonless breakglass = %d", rec.Code)
+	}
+
+	// Patterns visible.
+	rec = do(t, s, http.MethodGet, "/patterns", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("patterns status = %d", rec.Code)
+	}
+	pats := decodeBody[map[string][]PatternJSON](t, rec)
+	if len(pats["patterns"]) != 1 || pats["patterns"][0].Support != 5 {
+		t.Fatalf("patterns = %+v", pats)
+	}
+
+	// Coverage before refinement.
+	rec = do(t, s, http.MethodGet, "/coverage", nil)
+	cov := decodeBody[CoverageResponse](t, rec)
+	if cov.EntryCoverage >= 1 || len(cov.Gaps) == 0 {
+		t.Errorf("coverage = %+v", cov)
+	}
+
+	// Refine with default adopt.
+	rec = do(t, s, http.MethodPost, "/refine", RefineRequest{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("refine status = %d: %s", rec.Code, rec.Body.String())
+	}
+	ref := decodeBody[RefineResponse](t, rec)
+	if len(ref.Adopted) != 1 || ref.CoverageAfter <= ref.CoverageBefore {
+		t.Errorf("refine = %+v", ref)
+	}
+
+	// The adopted rule is live.
+	rec = do(t, s, http.MethodPost, "/query", QueryRequest{
+		User: "mark", Role: "nurse", Purpose: "registration", SQL: "SELECT referral FROM records",
+	})
+	if rec.Code != http.StatusOK {
+		t.Errorf("post-adoption query = %d", rec.Code)
+	}
+}
+
+func TestRefineWithExplicitDecisions(t *testing.T) {
+	s, _ := newServer(t)
+	for _, u := range []string{"a", "b", "c", "a", "b"} {
+		if rec := do(t, s, http.MethodPost, "/breakglass", QueryRequest{
+			User: u, Role: "nurse", Purpose: "registration",
+			Reason: "r", SQL: "SELECT referral FROM records",
+		}); rec.Code != http.StatusOK {
+			t.Fatal(rec.Body.String())
+		}
+	}
+	rec := do(t, s, http.MethodPost, "/refine", RefineRequest{
+		Default: "adopt",
+		Decisions: map[string]string{
+			"data=referral & purpose=registration & authorized=nurse": "reject",
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("refine status = %d: %s", rec.Code, rec.Body.String())
+	}
+	ref := decodeBody[RefineResponse](t, rec)
+	if len(ref.Adopted) != 0 || len(ref.Rejected) != 1 {
+		t.Errorf("refine = %+v", ref)
+	}
+	// Bad decision strings rejected.
+	for _, body := range []RefineRequest{
+		{Default: "nonsense"},
+		{Decisions: map[string]string{"data=x": "maybe"}},
+		{Decisions: map[string]string{"notarule": "adopt"}},
+	} {
+		if rec := do(t, s, http.MethodPost, "/refine", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("bad refine body accepted: %+v -> %d", body, rec.Code)
+		}
+	}
+}
+
+func TestRulesEndpoint(t *testing.T) {
+	s, _ := newServer(t)
+	rec := do(t, s, http.MethodGet, "/policy/rules", nil)
+	rules := decodeBody[map[string][]string](t, rec)
+	if len(rules["rules"]) != 3 {
+		t.Fatalf("rules = %v", rules)
+	}
+	rec = do(t, s, http.MethodPost, "/policy/rules", RuleRequest{Rule: "data=insurance & purpose=billing & authorized=clerk"})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("add rule = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = do(t, s, http.MethodPost, "/policy/rules", RuleRequest{Rule: "data=bogus & purpose=billing & authorized=clerk"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad rule = %d", rec.Code)
+	}
+	rec = do(t, s, http.MethodDelete, "/policy/rules", RuleRequest{Rule: "data=insurance & purpose=billing & authorized=clerk"})
+	if rec.Code != http.StatusOK {
+		t.Errorf("delete = %d", rec.Code)
+	}
+	rec = do(t, s, http.MethodDelete, "/policy/rules", RuleRequest{Rule: "data=insurance & purpose=billing & authorized=clerk"})
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("re-delete = %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPut, "/policy/rules", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("put = %d", rec.Code)
+	}
+}
+
+func TestConsentEndpoint(t *testing.T) {
+	s, _ := newServer(t)
+	rec := do(t, s, http.MethodPost, "/consent", ConsentRequest{
+		Patient: "p2", Data: "clinical", Choice: "opt-out",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("consent = %d: %s", rec.Code, rec.Body.String())
+	}
+	// The opt-out takes effect on queries.
+	qrec := do(t, s, http.MethodPost, "/query", QueryRequest{
+		User: "tim", Role: "nurse", Purpose: "treatment", SQL: "SELECT patient, referral FROM records",
+	})
+	resp := decodeBody[QueryResponse](t, qrec)
+	if len(resp.Rows) != 1 {
+		t.Errorf("consented rows = %v", resp.Rows)
+	}
+	rec = do(t, s, http.MethodPost, "/consent", ConsentRequest{Patient: "p2", Choice: "revoke"})
+	if rec.Code != http.StatusOK {
+		t.Errorf("revoke = %d", rec.Code)
+	}
+	rec = do(t, s, http.MethodPost, "/consent", ConsentRequest{Patient: "p2", Choice: "maybe"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad choice = %d", rec.Code)
+	}
+	rec = do(t, s, http.MethodPost, "/consent", ConsentRequest{Patient: "", Choice: "opt-out"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty patient = %d", rec.Code)
+	}
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	s, _ := newServer(t)
+	do(t, s, http.MethodPost, "/query", QueryRequest{
+		User: "tim", Role: "nurse", Purpose: "treatment", SQL: "SELECT referral FROM records",
+	})
+	do(t, s, http.MethodPost, "/breakglass", QueryRequest{
+		User: "tim", Role: "nurse", Purpose: "registration", Reason: "r", SQL: "SELECT referral FROM records",
+	})
+	rec := do(t, s, http.MethodGet, "/audit", nil)
+	var all struct {
+		Entries []prima.Entry `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Entries) != 2 {
+		t.Fatalf("entries = %d", len(all.Entries))
+	}
+	rec = do(t, s, http.MethodGet, "/audit?status=exception", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Entries) != 1 || all.Entries[0].Status != prima.StatusException {
+		t.Errorf("exception filter = %+v", all.Entries)
+	}
+}
+
+func TestGeneralizeEndpoint(t *testing.T) {
+	s, sys := newServer(t)
+	// Add the sibling leaves so generalization has work to do.
+	for _, d := range []string{"prescription", "lab_result"} {
+		if rec := do(t, s, http.MethodPost, "/policy/rules",
+			RuleRequest{Rule: "data=" + d + " & purpose=treatment & authorized=nurse"}); rec.Code != http.StatusCreated {
+			t.Fatal(rec.Body.String())
+		}
+	}
+	before := len(sys.Rules())
+	rec := do(t, s, http.MethodPost, "/generalize", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("generalize = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeBody[GeneralizeResponse](t, rec)
+	if resp.RulesBefore != before || resp.RulesAfter >= before {
+		t.Errorf("resp = %+v (before=%d)", resp, before)
+	}
+	if rec := do(t, s, http.MethodGet, "/generalize", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET generalize = %d", rec.Code)
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	s, _ := newServer(t)
+	for _, u := range []string{"a", "b", "c", "a", "b"} {
+		do(t, s, http.MethodPost, "/breakglass", QueryRequest{
+			User: u, Role: "nurse", Purpose: "registration",
+			Reason: "r", SQL: "SELECT referral FROM records",
+		})
+	}
+	rec := do(t, s, http.MethodGet, "/report?title=Ward+review", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("report = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "markdown") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"# Ward review", "Policy coverage", "Audit statistics"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("report missing %q:\n%s", want, body)
+		}
+	}
+	if rec := do(t, s, http.MethodPost, "/report", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST report = %d", rec.Code)
+	}
+}
+
+func TestPatternsEvidenceEndpoint(t *testing.T) {
+	s, _ := newServer(t)
+	for _, u := range []string{"a", "b", "c", "a", "b"} {
+		do(t, s, http.MethodPost, "/breakglass", QueryRequest{
+			User: u, Role: "nurse", Purpose: "registration",
+			Reason: "r", SQL: "SELECT referral FROM records",
+		})
+	}
+	rec := do(t, s, http.MethodGet, "/patterns?evidence=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeBody[map[string][]EvidenceJSON](t, rec)
+	evs := resp["evidence"]
+	if len(evs) != 1 || evs[0].Support != 5 || evs[0].DistinctUsers != 3 {
+		t.Fatalf("evidence = %+v", evs)
+	}
+	if evs[0].Suspicion <= 0 || evs[0].Suspicion >= 1 {
+		t.Errorf("suspicion = %v", evs[0].Suspicion)
+	}
+}

@@ -1,0 +1,124 @@
+package treerec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/hdb"
+	"repro/internal/scenario"
+)
+
+func enforcerFixture(t *testing.T) (*Enforcer, *audit.Log, *Node) {
+	t.Helper()
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	log := audit.NewLog("legacy")
+	e := NewEnforcer(v, ps, mapping(t), log)
+	base := time.Date(2007, 3, 1, 8, 0, 0, 0, time.UTC)
+	step := 0
+	e.SetClock(func() time.Time { step++; return base.Add(time.Duration(step) * time.Second) })
+	rec, err := ParseXMLString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, log, rec
+}
+
+func TestTreeFetchRedactsAndAudits(t *testing.T) {
+	e, log, rec := enforcerFixture(t)
+	red, err := e.Fetch(hdb.Principal{User: "tim", Role: "nurse"}, "treatment", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nurse for treatment: prescription visible (general clinical),
+	// psychiatry and demographics pruned.
+	if red.Record.Find("record/clinical/prescription") == nil {
+		t.Error("prescription pruned")
+	}
+	if red.Record.Find("record/clinical/psychiatry") != nil {
+		t.Error("psychiatry kept")
+	}
+	entries := log.Snapshot()
+	if len(entries) != 1 || entries[0].Data != "prescription" || entries[0].Status != audit.Regular {
+		t.Errorf("audit = %v", entries)
+	}
+}
+
+func TestTreeFetchFullyDenied(t *testing.T) {
+	e, log, rec := enforcerFixture(t)
+	// Lab techs have no policy rules at all.
+	_, err := e.Fetch(hdb.Principal{User: "pat", Role: "lab_tech"}, "research", rec)
+	if !errors.Is(err, hdb.ErrDenied) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, en := range log.Snapshot() {
+		if en.Op != audit.Deny {
+			t.Errorf("denial not audited as prohibition: %v", en)
+		}
+	}
+}
+
+func TestTreeBreakGlassFeedsRefinement(t *testing.T) {
+	e, log, rec := enforcerFixture(t)
+	// Five break-glass fetches by three clerks for billing: the
+	// record's categories land in the log as exceptions, and the
+	// standard refinement loop proposes rules from a *legacy tree*
+	// system's trail.
+	for _, u := range []string{"bill", "amy", "jason", "bill", "amy"} {
+		if _, err := e.BreakGlass(hdb.Principal{User: u, Role: "clerk"}, "billing", "statement prep", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	patterns, err := core.Refinement(ps, log.Snapshot(), v, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Categories in the record: address, gender, prescription,
+	// psychiatry — each appears 5 times by 3 users; address and
+	// gender are already covered (demographic/billing/clerk), so the
+	// useful patterns are prescription and psychiatry for billing.
+	if len(patterns) != 2 {
+		t.Fatalf("patterns = %v", patterns)
+	}
+	for _, p := range patterns {
+		if p.Support != 5 || p.DistinctUsers != 3 {
+			t.Errorf("pattern evidence: %+v", p)
+		}
+	}
+}
+
+func TestTreeEnforcerValidation(t *testing.T) {
+	e, _, rec := enforcerFixture(t)
+	if _, err := e.Fetch(hdb.Principal{}, "treatment", rec); err == nil {
+		t.Error("empty principal accepted")
+	}
+	if _, err := e.Fetch(hdb.Principal{User: "u", Role: "nurse"}, "", rec); err == nil {
+		t.Error("missing purpose accepted")
+	}
+	if _, err := e.BreakGlass(hdb.Principal{User: "u", Role: "nurse"}, "treatment", " ", rec); err == nil {
+		t.Error("reasonless break glass accepted")
+	}
+	if _, err := e.BreakGlass(hdb.Principal{}, "treatment", "r", rec); err == nil {
+		t.Error("empty principal accepted on break glass")
+	}
+	if _, err := e.BreakGlass(hdb.Principal{User: "u", Role: "nurse"}, "", "r", rec); err == nil {
+		t.Error("missing purpose accepted on break glass")
+	}
+}
+
+func TestTreeBreakGlassReturnsClone(t *testing.T) {
+	e, _, rec := enforcerFixture(t)
+	full, err := e.BreakGlass(hdb.Principal{User: "u", Role: "nurse"}, "treatment", "emergency", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Find("record/patient").Value = "tampered"
+	if rec.Find("record/patient").Value == "tampered" {
+		t.Error("break glass returned shared nodes")
+	}
+}

@@ -1,0 +1,32 @@
+package treerec_test
+
+import (
+	"fmt"
+
+	"repro/internal/treerec"
+	"repro/internal/vocab"
+)
+
+// ExampleMapping_Redact prunes the subtrees a policy decision denies
+// from a hierarchical (XML-like) legacy record — the paper's §6
+// adaptation.
+func ExampleMapping_Redact() {
+	rec, _ := treerec.ParseXMLString(`
+<record>
+  <patient>p2</patient>
+  <clinical>
+    <referral>derm consult</referral>
+    <psychiatry>anxiety notes</psychiatry>
+  </clinical>
+</record>`)
+	m := treerec.NewMapping(vocab.Sample())
+	_ = m.Add("clinical/referral", "referral")
+	_ = m.Add("clinical/psychiatry", "psychiatry")
+
+	red := m.Redact(rec, func(category string) bool { return category == "referral" })
+	fmt.Println("kept:", red.Kept)
+	fmt.Println("psychiatry pruned:", red.Record.Find("record/clinical/psychiatry") == nil)
+	// Output:
+	// kept: [referral]
+	// psychiatry pruned: true
+}

@@ -1,0 +1,39 @@
+package vocab_test
+
+import (
+	"fmt"
+
+	"repro/internal/vocab"
+)
+
+// ExampleVocabulary_GroundSet expands the paper's composite RuleTerm
+// (data, demographic) into its ground set RT' (Definition 3).
+func ExampleVocabulary_GroundSet() {
+	v := vocab.Sample()
+	fmt.Println(v.GroundSet("data", "demographic"))
+	// Output: [address birthdate gender phone]
+}
+
+// ExampleParseText builds a vocabulary from the indented text format.
+func ExampleParseText() {
+	v, _ := vocab.ParseTextString(`
+data
+  clinical: prescription referral
+purpose
+  treatment
+`)
+	fmt.Println(v.Subsumes("data", "clinical", "referral"))
+	fmt.Println(v.IsGround("data", "clinical"), v.IsGround("data", "referral"))
+	// Output:
+	// true
+	// false true
+}
+
+// ExampleMerge combines two sites' vocabularies for federation.
+func ExampleMerge() {
+	a, _ := vocab.ParseTextString("data\n  clinical\n    referral\n")
+	b, _ := vocab.ParseTextString("data\n  clinical\n    imaging\n")
+	m, _ := vocab.Merge(a, b)
+	fmt.Println(m.GroundSet("data", "clinical"))
+	// Output: [imaging referral]
+}

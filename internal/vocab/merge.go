@@ -1,0 +1,93 @@
+package vocab
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines two vocabularies into a new one — the situation
+// Audit Management creates when federated sites evolved their
+// vocabularies independently (paper §4.2). Values present in both
+// must agree on their parent (same position in the hierarchy);
+// a disagreement is a structural conflict that must be resolved by
+// hand, so Merge reports it as an error rather than guessing.
+func Merge(a, b *Vocabulary) (*Vocabulary, error) {
+	out := a.Clone()
+	for _, attr := range b.Attributes() {
+		hb := b.Hierarchy(attr)
+		ho := out.Hierarchy(attr)
+		if ho == nil {
+			var err error
+			ho, err = out.AddAttribute(attr)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var walk func(parent string, n *Node) error
+		walk = func(parent string, n *Node) error {
+			if existing := ho.Node(n.value); existing != nil {
+				ep := ""
+				if existing.parent != nil {
+					ep = existing.parent.value
+				}
+				if Norm(ep) != Norm(parent) {
+					return fmt.Errorf("vocab: merge conflict on %s/%s: parent %q vs %q",
+						attr, n.value, ep, parent)
+				}
+			} else if err := ho.Add(parent, n.value); err != nil {
+				return err
+			}
+			for _, c := range n.children {
+				if err := walk(n.value, c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, r := range hb.Roots() {
+			if err := walk("", r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Diff lists the (attr, value) pairs present in b but missing from a,
+// sorted; useful for reviewing what a merge would introduce.
+func Diff(a, b *Vocabulary) []string {
+	var out []string
+	for _, attr := range b.Attributes() {
+		hb := b.Hierarchy(attr)
+		ha := a.Hierarchy(attr)
+		for _, val := range hb.Values() {
+			if ha == nil || !ha.Contains(val) {
+				out = append(out, Norm(attr)+"/"+Norm(val))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoverageTerms verifies that every term of a set of (attr, value)
+// pairs is known to the vocabulary; policy and audit imports use it
+// to fail fast on vocabulary drift.
+func (v *Vocabulary) CoverageTerms(pairs map[string]string) error {
+	var missing []string
+	for attr, value := range pairs {
+		h := v.Hierarchy(attr)
+		if h == nil {
+			missing = append(missing, Norm(attr)+" (attribute)")
+			continue
+		}
+		if !h.Contains(value) {
+			missing = append(missing, Norm(attr)+"/"+Norm(value))
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("vocab: unknown terms: %v", missing)
+	}
+	return nil
+}

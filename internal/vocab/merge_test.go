@@ -1,0 +1,100 @@
+package vocab
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeDisjointAttrs(t *testing.T) {
+	a, err := ParseTextString("data\n  demographic\n    address\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseTextString("purpose\n  treatment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Attributes(), []string{"data", "purpose"}) {
+		t.Errorf("attrs = %v", m.Attributes())
+	}
+	if !m.Subsumes("data", "demographic", "address") || !m.Hierarchy("purpose").Contains("treatment") {
+		t.Error("merge lost structure")
+	}
+	// Inputs untouched.
+	if a.Hierarchy("purpose") != nil || b.Hierarchy("data") != nil {
+		t.Error("merge mutated inputs")
+	}
+}
+
+func TestMergeOverlappingAgrees(t *testing.T) {
+	a, _ := ParseTextString("data\n  clinical\n    referral\n")
+	b, _ := ParseTextString("data\n  clinical\n    referral\n    imaging\n  financial\n")
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Hierarchy("data")
+	if !h.Contains("imaging") || !h.Contains("financial") {
+		t.Error("new values missing")
+	}
+	if !h.Subsumes("clinical", "imaging") {
+		t.Error("imaging not under clinical")
+	}
+	if h.Len() != 4 { // clinical, referral, imaging, financial
+		t.Errorf("values = %v", h.Values())
+	}
+}
+
+func TestMergeConflict(t *testing.T) {
+	a, _ := ParseTextString("data\n  clinical\n    referral\n")
+	b, _ := ParseTextString("data\n  financial\n    referral\n") // referral under a different parent
+	if _, err := Merge(a, b); err == nil {
+		t.Error("conflicting parent accepted")
+	}
+	// Conflicting depth (root vs nested) also rejected.
+	c, _ := ParseTextString("data\n  referral\n")
+	if _, err := Merge(a, c); err == nil {
+		t.Error("root-vs-nested conflict accepted")
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	a := Sample()
+	m, err := Merge(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TextString() != a.TextString() {
+		t.Error("self-merge changed the vocabulary")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, _ := ParseTextString("data\n  clinical\n")
+	b, _ := ParseTextString("data\n  clinical\n    imaging\npurpose\n  treatment\n")
+	got := Diff(a, b)
+	expect := []string{"data/imaging", "purpose/treatment"}
+	if !reflect.DeepEqual(got, expect) {
+		t.Errorf("Diff = %v, want %v", got, expect)
+	}
+	if d := Diff(b, a); len(d) != 0 {
+		t.Errorf("reverse diff = %v", d)
+	}
+}
+
+func TestCoverageTerms(t *testing.T) {
+	v := Sample()
+	if err := v.CoverageTerms(map[string]string{"data": "referral", "purpose": "treatment"}); err != nil {
+		t.Errorf("valid terms rejected: %v", err)
+	}
+	if err := v.CoverageTerms(map[string]string{"data": "nosuch"}); err == nil {
+		t.Error("unknown value accepted")
+	}
+	if err := v.CoverageTerms(map[string]string{"zzz": "x"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}

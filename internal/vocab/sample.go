@@ -1,0 +1,70 @@
+package vocab
+
+// Sample returns the paper's Figure 1 privacy policy vocabulary,
+// reconstructed from the worked examples in Sections 3.3 and 5.
+//
+// The figure is described only partially in the text; the following
+// facts anchor the reconstruction:
+//
+//   - (data, demographic) is composite and its ground set has exactly
+//     four elements, two of which are address and gender (§3.1).
+//   - The examples use the data categories prescription, referral,
+//     psychiatry, insurance, address; the purposes treatment,
+//     registration, billing, telemarketing; and the roles nurse,
+//     physician/doctor, clerk.
+//   - Table 1 marks a Doctor's psychiatry access for treatment as an
+//     exception while §3.3 says the policy permits "only a physician"
+//     — reconciled by authorizing the distinct ground role
+//     psychiatrist, a sibling of doctor, so that both the §3.3 nurse
+//     and the Table 1 doctor fall outside the policy (see DESIGN.md).
+//     Roles in audit entries must be ground for the paper's row
+//     counting (3/6 and 3/10) to hold, so the role hierarchy keeps
+//     doctor and psychiatrist as leaves.
+//   - §3.3 requires the Fig. 3 policy rule "nurses may access
+//     [clinical] data for treatment" to cover prescription and
+//     referral (its ground rules 1a, 1b) but NOT psychiatry (audit
+//     rule 4 is uncovered), so clinical splits into general
+//     (prescription, referral, lab_result) and mental_health
+//     (psychiatry, counseling); the policy authorizes general.
+func Sample() *Vocabulary {
+	v := New()
+
+	data := v.MustAttribute("data")
+	data.MustAdd("", "phi") // protected health information (HIPAA umbrella)
+	data.MustAdd("phi", "demographic")
+	data.MustAdd("demographic", "address")
+	data.MustAdd("demographic", "gender")
+	data.MustAdd("demographic", "phone")
+	data.MustAdd("demographic", "birthdate")
+	data.MustAdd("phi", "clinical")
+	data.MustAdd("clinical", "general")
+	data.MustAdd("general", "prescription")
+	data.MustAdd("general", "referral")
+	data.MustAdd("general", "lab_result")
+	data.MustAdd("clinical", "mental_health")
+	data.MustAdd("mental_health", "psychiatry")
+	data.MustAdd("mental_health", "counseling")
+	data.MustAdd("phi", "financial")
+	data.MustAdd("financial", "insurance")
+	data.MustAdd("financial", "payment_history")
+
+	purpose := v.MustAttribute("purpose")
+	purpose.MustAdd("", "healthcare")
+	purpose.MustAdd("healthcare", "treatment")
+	purpose.MustAdd("healthcare", "registration")
+	purpose.MustAdd("healthcare", "billing")
+	purpose.MustAdd("", "research")
+	purpose.MustAdd("", "telemarketing")
+
+	auth := v.MustAttribute("authorized")
+	auth.MustAdd("", "medical_staff")
+	auth.MustAdd("medical_staff", "doctor")
+	auth.MustAdd("medical_staff", "psychiatrist")
+	auth.MustAdd("medical_staff", "nurse")
+	auth.MustAdd("medical_staff", "lab_tech")
+	auth.MustAdd("", "admin_staff")
+	auth.MustAdd("admin_staff", "clerk")
+	auth.MustAdd("admin_staff", "manager")
+
+	return v
+}

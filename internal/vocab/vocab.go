@@ -1,0 +1,325 @@
+// Package vocab implements the privacy policy vocabulary of PRIMA
+// (Bhatti & Grandison, 2007), Figure 1: a forest of value hierarchies,
+// one per policy attribute (data, purpose, authorized, ...).
+//
+// A value is "ground" (Definition 2) when it is atomic with respect to
+// the vocabulary, i.e. it has no children in its attribute's hierarchy.
+// A composite value can always be expanded into the set of ground
+// values derivable from it (Definition 3); that set is called its
+// ground set and is written RT' in the paper.
+package vocab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Norm canonicalizes an attribute or value for comparison: values in
+// policies, audit logs and vocabularies frequently differ only in case
+// or surrounding whitespace ("Referral" vs "referral").
+func Norm(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+// Node is a single value in an attribute hierarchy.
+type Node struct {
+	value    string // display form, as first registered
+	parent   *Node  // nil for top-level values
+	children []*Node
+}
+
+// Value returns the display form of the node's value.
+func (n *Node) Value() string { return n.value }
+
+// Parent returns the parent node, or nil for a top-level value.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the direct children of the node. The returned slice
+// must not be modified.
+func (n *Node) Children() []*Node { return n.children }
+
+// IsGround reports whether the value is atomic with respect to the
+// vocabulary (Definition 2): it has no children.
+func (n *Node) IsGround() bool { return len(n.children) == 0 }
+
+// Hierarchy is the value hierarchy for one attribute.
+type Hierarchy struct {
+	attr  string // display form
+	roots []*Node
+	nodes map[string]*Node // by Norm(value)
+}
+
+// Attr returns the display form of the attribute name.
+func (h *Hierarchy) Attr() string { return h.attr }
+
+// Roots returns the top-level values of the hierarchy.
+func (h *Hierarchy) Roots() []*Node { return h.roots }
+
+// Len returns the number of values registered in the hierarchy.
+func (h *Hierarchy) Len() int { return len(h.nodes) }
+
+// Node returns the node for value, or nil if the value is unknown.
+func (h *Hierarchy) Node(value string) *Node { return h.nodes[Norm(value)] }
+
+// Add registers value under parent. An empty parent registers a
+// top-level value. It is an error to add a value twice or to reference
+// an unknown parent.
+func (h *Hierarchy) Add(parent, value string) error {
+	key := Norm(value)
+	if key == "" {
+		return fmt.Errorf("vocab: empty value for attribute %q", h.attr)
+	}
+	if _, ok := h.nodes[key]; ok {
+		return fmt.Errorf("vocab: duplicate value %q for attribute %q", value, h.attr)
+	}
+	n := &Node{value: strings.TrimSpace(value)}
+	if Norm(parent) == "" {
+		h.roots = append(h.roots, n)
+	} else {
+		p, ok := h.nodes[Norm(parent)]
+		if !ok {
+			return fmt.Errorf("vocab: unknown parent %q for value %q (attribute %q)", parent, value, h.attr)
+		}
+		n.parent = p
+		p.children = append(p.children, n)
+	}
+	h.nodes[key] = n
+	return nil
+}
+
+// MustAdd is Add that panics on error; intended for static sample data.
+func (h *Hierarchy) MustAdd(parent, value string) {
+	if err := h.Add(parent, value); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether value is registered in the hierarchy.
+func (h *Hierarchy) Contains(value string) bool {
+	_, ok := h.nodes[Norm(value)]
+	return ok
+}
+
+// IsGround reports whether value is ground (Definition 2). A value
+// that is not registered in the vocabulary cannot be subdivided by it
+// and is therefore treated as ground.
+func (h *Hierarchy) IsGround(value string) bool {
+	n := h.Node(value)
+	return n == nil || n.IsGround()
+}
+
+// GroundSet returns the ground values derivable from value — the set
+// RT' of Definition 3 — in deterministic (sorted) order. For a ground
+// value (including values unknown to the vocabulary) it returns the
+// value itself.
+func (h *Hierarchy) GroundSet(value string) []string {
+	n := h.Node(value)
+	if n == nil {
+		return []string{strings.TrimSpace(value)}
+	}
+	var out []string
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.IsGround() {
+			out = append(out, m.value)
+			return
+		}
+		for _, c := range m.children {
+			walk(c)
+		}
+	}
+	walk(n)
+	sort.Strings(out)
+	return out
+}
+
+// Subsumes reports whether b lies in the subtree rooted at a
+// (inclusive). Unknown values subsume only themselves.
+func (h *Hierarchy) Subsumes(a, b string) bool {
+	ka, kb := Norm(a), Norm(b)
+	if ka == kb {
+		return true
+	}
+	nb := h.nodes[kb]
+	for nb != nil {
+		if Norm(nb.value) == ka {
+			return true
+		}
+		nb = nb.parent
+	}
+	return false
+}
+
+// Ancestors returns the chain of ancestors of value from its parent up
+// to its top-level value. Unknown or top-level values yield nil.
+func (h *Hierarchy) Ancestors(value string) []string {
+	n := h.Node(value)
+	if n == nil {
+		return nil
+	}
+	var out []string
+	for p := n.parent; p != nil; p = p.parent {
+		out = append(out, p.value)
+	}
+	return out
+}
+
+// Leaves returns every ground value in the hierarchy, sorted.
+func (h *Hierarchy) Leaves() []string {
+	var out []string
+	for _, n := range h.nodes {
+		if n.IsGround() {
+			out = append(out, n.value)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Values returns every value in the hierarchy, sorted.
+func (h *Hierarchy) Values() []string {
+	out := make([]string, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		out = append(out, n.value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Depth returns the depth of value (top-level values have depth 1);
+// zero for unknown values.
+func (h *Hierarchy) Depth(value string) int {
+	n := h.Node(value)
+	if n == nil {
+		return 0
+	}
+	d := 1
+	for p := n.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// Vocabulary is a set of attribute hierarchies (paper Figure 1).
+type Vocabulary struct {
+	attrs map[string]*Hierarchy // by Norm(attr)
+	order []string              // display forms, registration order
+}
+
+// New returns an empty vocabulary.
+func New() *Vocabulary {
+	return &Vocabulary{attrs: make(map[string]*Hierarchy)}
+}
+
+// AddAttribute registers a new attribute and returns its hierarchy.
+func (v *Vocabulary) AddAttribute(attr string) (*Hierarchy, error) {
+	key := Norm(attr)
+	if key == "" {
+		return nil, fmt.Errorf("vocab: empty attribute name")
+	}
+	if _, ok := v.attrs[key]; ok {
+		return nil, fmt.Errorf("vocab: duplicate attribute %q", attr)
+	}
+	h := &Hierarchy{attr: strings.TrimSpace(attr), nodes: make(map[string]*Node)}
+	v.attrs[key] = h
+	v.order = append(v.order, h.attr)
+	return h, nil
+}
+
+// MustAttribute returns the hierarchy for attr, creating it if needed.
+func (v *Vocabulary) MustAttribute(attr string) *Hierarchy {
+	if h := v.attrs[Norm(attr)]; h != nil {
+		return h
+	}
+	h, err := v.AddAttribute(attr)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Hierarchy returns the hierarchy for attr, or nil if unregistered.
+func (v *Vocabulary) Hierarchy(attr string) *Hierarchy { return v.attrs[Norm(attr)] }
+
+// Attributes returns the registered attribute names in registration order.
+func (v *Vocabulary) Attributes() []string {
+	out := make([]string, len(v.order))
+	copy(out, v.order)
+	return out
+}
+
+// IsGround reports whether (attr, value) is ground (Definition 2).
+// Values of unregistered attributes are atomic by definition.
+func (v *Vocabulary) IsGround(attr, value string) bool {
+	h := v.Hierarchy(attr)
+	return h == nil || h.IsGround(value)
+}
+
+// GroundSet returns the ground set of (attr, value) (Definition 3).
+func (v *Vocabulary) GroundSet(attr, value string) []string {
+	h := v.Hierarchy(attr)
+	if h == nil {
+		return []string{strings.TrimSpace(value)}
+	}
+	return h.GroundSet(value)
+}
+
+// Subsumes reports whether (attr, a) subsumes (attr, b).
+func (v *Vocabulary) Subsumes(attr, a, b string) bool {
+	h := v.Hierarchy(attr)
+	if h == nil {
+		return Norm(a) == Norm(b)
+	}
+	return h.Subsumes(a, b)
+}
+
+// Equivalent reports whether (attr, a) and (attr, b) are equivalent in
+// the sense of Definition 4: their ground sets intersect.
+func (v *Vocabulary) Equivalent(attr, a, b string) bool {
+	h := v.Hierarchy(attr)
+	if h == nil {
+		return Norm(a) == Norm(b)
+	}
+	ga := h.GroundSet(a)
+	gb := h.GroundSet(b)
+	set := make(map[string]bool, len(ga))
+	for _, x := range ga {
+		set[Norm(x)] = true
+	}
+	for _, y := range gb {
+		if set[Norm(y)] {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the total number of values across all hierarchies.
+func (v *Vocabulary) Size() int {
+	n := 0
+	for _, h := range v.attrs {
+		n += h.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the vocabulary.
+func (v *Vocabulary) Clone() *Vocabulary {
+	out := New()
+	for _, attr := range v.order {
+		src := v.Hierarchy(attr)
+		dst := out.MustAttribute(attr)
+		var walk func(parent string, n *Node)
+		walk = func(parent string, n *Node) {
+			dst.MustAdd(parent, n.value)
+			for _, c := range n.children {
+				walk(n.value, c)
+			}
+		}
+		for _, r := range src.roots {
+			walk("", r)
+		}
+	}
+	return out
+}

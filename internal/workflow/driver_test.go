@@ -1,0 +1,123 @@
+package workflow
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/consent"
+	"repro/internal/core"
+	"repro/internal/hdb"
+	"repro/internal/minidb"
+	"repro/internal/policy"
+)
+
+func driverFixture(t *testing.T, seed int64) (*Driver, *Simulator, Config, *audit.Log) {
+	t.Helper()
+	cfg := DefaultHospital(seed)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := minidb.NewDatabase()
+	log := audit.NewLog("ward")
+	cs := consent.NewStore(cfg.Vocab, true)
+	enf := hdb.New(db, cfg.Policy, cfg.Vocab, cs, log)
+	d, err := NewDriver(enf, cfg.Vocab, "records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, sim, cfg, log
+}
+
+func TestDriverReplaysThroughEnforcement(t *testing.T) {
+	d, sim, cfg, log := driverFixture(t, 9)
+	st, err := d.Play(sim, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("stats = %+v; no access should fail outright", st)
+	}
+	if st.Regular == 0 || st.BreakGlass == 0 {
+		t.Fatalf("stats = %+v; need both paths exercised", st)
+	}
+	if st.Regular+st.BreakGlass != st.Accesses {
+		t.Errorf("stats don't add up: %+v", st)
+	}
+	// The middleware's status labels must agree with the policy
+	// range: every exception entry is outside Range(P_PS), every
+	// allowed regular entry inside.
+	rg, err := policy.NewRange(cfg.Policy, cfg.Vocab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range log.Snapshot() {
+		if e.Op != audit.Allow {
+			continue // denial records precede each break-glass retry
+		}
+		inRange := rg.Contains(e.Rule())
+		if e.Status == audit.Regular && !inRange {
+			t.Fatalf("regular entry outside policy: %v", e)
+		}
+		if e.Status == audit.Exception && inRange {
+			t.Fatalf("exception entry inside policy: %v", e)
+		}
+	}
+}
+
+func TestDriverTimestampsFollowSimulation(t *testing.T) {
+	d, sim, _, log := driverFixture(t, 10)
+	if _, err := d.Play(sim, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range log.Snapshot() {
+		day := int(e.Time.Sub(sim.cfg.Start).Hours() / 24)
+		if day < 3 || day > 4 {
+			t.Fatalf("entry outside simulated window: %v (day %d)", e.Time, day)
+		}
+	}
+}
+
+func TestDriverFeedsRefinementEndToEnd(t *testing.T) {
+	// The complete Figure 4 loop on the real middleware: replay a
+	// couple of weeks, refine from the enforcer's own audit log,
+	// adopt, replay again — break-glass traffic collapses.
+	d, sim, cfg, log := driverFixture(t, 11)
+	before, err := d.Play(sim, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(cfg.Policy, cfg.Vocab, core.Options{})
+	round, err := sess.Run(log.Snapshot(), core.AdoptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Adopted) == 0 {
+		t.Fatalf("nothing adopted from middleware log: %+v", round)
+	}
+	informal, violations := sim.GroundTruth()
+	sc := Evaluate(round.Adopted, informal, violations)
+	if sc.Precision != 1 || sc.Recall != 1 {
+		t.Errorf("middleware-log extraction quality: %+v (adopted %v)", sc, round.Adopted)
+	}
+	after, err := d.Play(sim, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.BreakGlass >= before.BreakGlass/2 {
+		t.Errorf("break-glass did not collapse: %d -> %d", before.BreakGlass, after.BreakGlass)
+	}
+}
+
+func TestDriverTableValidation(t *testing.T) {
+	cfg := DefaultHospital(1)
+	db := minidb.NewDatabase()
+	enf := hdb.New(db, cfg.Policy, cfg.Vocab, nil, nil)
+	if _, err := NewDriver(enf, cfg.Vocab, "records"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-creating the same table fails cleanly.
+	if _, err := NewDriver(enf, cfg.Vocab, "records"); err == nil {
+		t.Error("duplicate driver table accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package prima
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/consent"
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// Snapshot file names within a snapshot directory.
+const (
+	snapVocabulary = "vocabulary.txt"
+	snapPolicy     = "policy.txt"
+	snapAudit      = "audit.jsonl"
+	snapConsent    = "consent.json"
+	snapDatabase   = "database.sql"
+	snapMappings   = "mappings.json"
+)
+
+// Save writes the system's full state — vocabulary, policy store,
+// audit log, consent records, clinical database and enforcement
+// mappings — into dir (created if missing). Load restores it. The
+// refinement history is derived state and is not persisted.
+func (s *System) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("prima: save: %w", err)
+	}
+	writeFile := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("prima: save %s: %w", name, err)
+		}
+		if err := fn(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("prima: save %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("prima: save %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := writeFile(snapVocabulary, func(f *os.File) error { return s.vocab.WriteText(f) }); err != nil {
+		return err
+	}
+	if err := writeFile(snapPolicy, func(f *os.File) error { return s.ps.WriteText(f) }); err != nil {
+		return err
+	}
+	if err := writeFile(snapAudit, func(f *os.File) error {
+		return audit.WriteJSONL(f, s.log.Snapshot())
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(snapConsent, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s.consent.Export())
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(snapDatabase, func(f *os.File) error { return s.db.Dump(f) }); err != nil {
+		return err
+	}
+	return writeFile(snapMappings, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s.enforcer.Mappings())
+	})
+}
+
+// LoadSystem reconstructs a System from a directory written by Save.
+func LoadSystem(dir string) (*System, error) {
+	openErr := func(name string, err error) error {
+		return fmt.Errorf("prima: load %s: %w", name, err)
+	}
+
+	vf, err := os.Open(filepath.Join(dir, snapVocabulary))
+	if err != nil {
+		return nil, openErr(snapVocabulary, err)
+	}
+	v, err := vocab.ParseText(vf)
+	_ = vf.Close()
+	if err != nil {
+		return nil, openErr(snapVocabulary, err)
+	}
+
+	pf, err := os.Open(filepath.Join(dir, snapPolicy))
+	if err != nil {
+		return nil, openErr(snapPolicy, err)
+	}
+	ps, err := policy.ParsePolicy("PS", pf)
+	_ = pf.Close()
+	if err != nil {
+		return nil, openErr(snapPolicy, err)
+	}
+
+	sys := New(Config{Vocabulary: v, Policy: ps})
+
+	af, err := os.Open(filepath.Join(dir, snapAudit))
+	if err != nil {
+		return nil, openErr(snapAudit, err)
+	}
+	entries, err := audit.ReadJSONL(af)
+	_ = af.Close()
+	if err != nil {
+		return nil, openErr(snapAudit, err)
+	}
+	if len(entries) > 0 {
+		if err := sys.log.Append(entries...); err != nil {
+			return nil, openErr(snapAudit, err)
+		}
+	}
+
+	cf, err := os.Open(filepath.Join(dir, snapConsent))
+	if err != nil {
+		return nil, openErr(snapConsent, err)
+	}
+	var records []consent.Record
+	err = json.NewDecoder(cf).Decode(&records)
+	_ = cf.Close()
+	if err != nil {
+		return nil, openErr(snapConsent, err)
+	}
+	if err := sys.consent.Import(records); err != nil {
+		return nil, openErr(snapConsent, err)
+	}
+
+	df, err := os.Open(filepath.Join(dir, snapDatabase))
+	if err != nil {
+		return nil, openErr(snapDatabase, err)
+	}
+	err = sys.db.LoadScript(df)
+	_ = df.Close()
+	if err != nil {
+		return nil, openErr(snapDatabase, err)
+	}
+
+	mf, err := os.Open(filepath.Join(dir, snapMappings))
+	if err != nil {
+		return nil, openErr(snapMappings, err)
+	}
+	var mappings []TableMapping
+	err = json.NewDecoder(mf).Decode(&mappings)
+	_ = mf.Close()
+	if err != nil {
+		return nil, openErr(snapMappings, err)
+	}
+	for _, m := range mappings {
+		if err := sys.RegisterTable(m); err != nil {
+			return nil, openErr(snapMappings, err)
+		}
+	}
+	return sys, nil
+}
+
+// LoadDatabaseScript is a convenience for loading fixtures: it
+// executes a SQL script against the system's clinical database.
+func (s *System) LoadDatabaseScript(script string) error {
+	return s.db.LoadScript(strings.NewReader(script))
+}

@@ -1,0 +1,150 @@
+package prima
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys := hospital(t)
+	// Produce some state: consent, accesses, a refinement round.
+	if err := sys.SetConsent("p2", "clinical", "", OptOut, clock0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Query("tim", "nurse", "treatment", `SELECT referral FROM records`); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"mark", "tim", "bob", "mark", "tim"} {
+		if _, _, err := sys.BreakGlass(u, "nurse", "registration", "backlog", `SELECT referral FROM records`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.RunRefinement(AdoptAll); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"vocabulary.txt", "policy.txt", "audit.jsonl", "consent.json", "database.sql", "mappings.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("snapshot missing %s: %v", name, err)
+		}
+	}
+
+	back, err := LoadSystem(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Policy (including the adopted rule) survives.
+	if !reflect.DeepEqual(back.Rules(), sys.Rules()) {
+		t.Errorf("rules: %v vs %v", back.Rules(), sys.Rules())
+	}
+	// Audit log survives.
+	if back.AuditLog().Len() != sys.AuditLog().Len() {
+		t.Errorf("audit entries: %d vs %d", back.AuditLog().Len(), sys.AuditLog().Len())
+	}
+	// Coverage computed on the restored system matches.
+	origCov, err := sys.EntryCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backCov, err := back.EntryCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origCov.Coverage != backCov.Coverage {
+		t.Errorf("coverage drifted: %v vs %v", origCov.Coverage, backCov.Coverage)
+	}
+	// The restored system enforces: adopted rule active, consent
+	// filter active, data intact.
+	res, acc, err := back.Query("mark", "nurse", "registration", `SELECT patient, referral FROM records`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || acc.OptedOut != 1 {
+		t.Errorf("restored enforcement: rows=%d optedOut=%d", len(res.Rows), acc.OptedOut)
+	}
+	// And keeps auditing.
+	if back.AuditLog().Len() != sys.AuditLog().Len()+1 {
+		t.Errorf("restored system not auditing")
+	}
+}
+
+func TestSaveLoadEmptySystem(t *testing.T) {
+	sys := New(Config{})
+	dir := filepath.Join(t.TempDir(), "empty")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSystem(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PolicyStore().Len() != 0 || back.AuditLog().Len() != 0 {
+		t.Errorf("empty system not empty after load")
+	}
+}
+
+func TestLoadSystemErrors(t *testing.T) {
+	if _, err := LoadSystem(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing directory accepted")
+	}
+	// Corrupt one file at a time.
+	sys := hospital(t)
+	base := filepath.Join(t.TempDir(), "snap")
+	if err := sys.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	// Format-specific invalid payloads (a comment line would be
+	// silently accepted by the text formats).
+	corrupt := map[string]string{
+		"vocabulary.txt": "  orphan-value-before-attribute\n",
+		"policy.txt":     "this line is not attr=value\n",
+		"audit.jsonl":    "{not json\n",
+		"consent.json":   "{\"not\": \"a list\"}",
+		"database.sql":   "SELECT FROM nothing;;;",
+		"mappings.json":  "still not json",
+	}
+	for name, payload := range corrupt {
+		dir := filepath.Join(t.TempDir(), "corrupt-"+name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, copyName := range []string{"vocabulary.txt", "policy.txt", "audit.jsonl", "consent.json", "database.sql", "mappings.json"} {
+			data, err := os.ReadFile(filepath.Join(base, copyName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if copyName == name {
+				data = []byte(payload)
+			}
+			if err := os.WriteFile(filepath.Join(dir, copyName), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := LoadSystem(dir); err == nil {
+			t.Errorf("corrupt %s accepted", name)
+		}
+	}
+}
+
+func TestLoadDatabaseScript(t *testing.T) {
+	sys := New(Config{})
+	err := sys.LoadDatabaseScript(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1), (2);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.DB().MustExec(`SELECT COUNT(*) FROM t`).Rows[0][0].AsInt(); got != 2 {
+		t.Errorf("rows = %d", got)
+	}
+	if err := sys.LoadDatabaseScript(`BROKEN`); err == nil {
+		t.Error("broken script accepted")
+	}
+}

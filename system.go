@@ -1,0 +1,201 @@
+package prima
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/consent"
+	"repro/internal/core"
+	"repro/internal/hdb"
+	"repro/internal/minidb"
+	"repro/internal/policy"
+	"repro/internal/report"
+	"repro/internal/vocab"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Vocabulary defaults to the paper's Figure 1 sample.
+	Vocabulary *Vocabulary
+	// Policy is the initial policy store; defaults to an empty policy
+	// named "PS".
+	Policy *Policy
+	// Site names the audit log (useful under federation).
+	Site string
+	// ConsentDefaultAllow selects the consent-store default (HIPAA
+	// operations default to allowed). Defaults to true.
+	ConsentDefaultDeny bool
+	// Refine sets the refinement parameters used by Refine and
+	// RunRefinement.
+	Refine RefineOptions
+}
+
+// System is the assembled PRIMA architecture of Figure 4: privacy
+// policy definition (control center), active enforcement, compliance
+// auditing, audit management, and policy refinement around one
+// clinical database.
+type System struct {
+	vocab    *Vocabulary
+	ps       *Policy
+	db       *minidb.Database
+	consent  *consent.Store
+	log      *audit.Log
+	enforcer *hdb.Enforcer
+	control  *hdb.ControlCenter
+	session  *core.Session
+}
+
+// New assembles a System from the config.
+func New(cfg Config) *System {
+	v := cfg.Vocabulary
+	if v == nil {
+		v = vocab.Sample()
+	}
+	ps := cfg.Policy
+	if ps == nil {
+		ps = policy.New("PS")
+	}
+	db := minidb.NewDatabase()
+	cs := consent.NewStore(v, !cfg.ConsentDefaultDeny)
+	log := audit.NewLog(cfg.Site)
+	enf := hdb.New(db, ps, v, cs, log)
+	return &System{
+		vocab:    v,
+		ps:       ps,
+		db:       db,
+		consent:  cs,
+		log:      log,
+		enforcer: enf,
+		control:  hdb.NewControlCenter(enf, cs),
+		session:  core.NewSession(ps, v, cfg.Refine),
+	}
+}
+
+// Vocabulary returns the system's vocabulary.
+func (s *System) Vocabulary() *Vocabulary { return s.vocab }
+
+// PolicyStore returns the live policy store P_PS.
+func (s *System) PolicyStore() *Policy { return s.ps }
+
+// DB returns the clinical database for administration (schema
+// creation, fixture loading). Application reads must use Query.
+func (s *System) DB() *minidb.Database { return s.db }
+
+// AuditLog returns the compliance audit log.
+func (s *System) AuditLog() *Log { return s.log }
+
+// Enforcer returns the HDB middleware for advanced use.
+func (s *System) Enforcer() *hdb.Enforcer { return s.enforcer }
+
+// SetClock fixes the audit timestamp source (deterministic logs).
+func (s *System) SetClock(clock func() time.Time) { s.enforcer.SetClock(clock) }
+
+// RegisterTable places a clinical table under enforcement.
+func (s *System) RegisterTable(m TableMapping) error { return s.enforcer.RegisterTable(m) }
+
+// AddRule enters a fine-grained policy rule through the control
+// center ("data=referral & purpose=treatment & authorized=nurse").
+func (s *System) AddRule(compact string) (Rule, error) { return s.control.AddRule(compact) }
+
+// RemoveRule deletes a rule in compact form.
+func (s *System) RemoveRule(compact string) (bool, error) { return s.control.RemoveRule(compact) }
+
+// Rules lists the current policy rules in compact form.
+func (s *System) Rules() []string { return s.control.Rules() }
+
+// SetConsent records a patient consent choice.
+func (s *System) SetConsent(patient, data, purpose string, choice ConsentChoice, at time.Time) error {
+	return s.control.SetConsent(patient, data, purpose, choice, at)
+}
+
+// RevokeConsent drops every choice recorded for the patient.
+func (s *System) RevokeConsent(patient string) int { return s.consent.Revoke(patient) }
+
+// Query runs an enforced, audited SELECT on behalf of (user, role)
+// for the stated purpose.
+func (s *System) Query(user, role, purpose, sql string) (*minidb.Result, *Access, error) {
+	return s.enforcer.Query(Principal{User: user, Role: role}, purpose, sql)
+}
+
+// BreakGlass runs the exception-based access path: policy and consent
+// are bypassed, the access is audited with status 0 and the reason.
+func (s *System) BreakGlass(user, role, purpose, reason, sql string) (*minidb.Result, *Access, error) {
+	return s.enforcer.BreakGlass(Principal{User: user, Role: role}, purpose, reason, sql)
+}
+
+// Coverage computes Algorithm 1 coverage of the policy store with
+// respect to the audit log's policy P_AL (Definition 9 set
+// semantics), with gap explanations.
+func (s *System) Coverage() (*CoverageReport, error) {
+	al := audit.ToPolicy("AL", s.log.Snapshot())
+	return core.Coverage(s.ps, al, s.vocab)
+}
+
+// EntryCoverage computes row-level coverage over the audit log (the
+// paper's §5 counting).
+func (s *System) EntryCoverage() (*EntryCoverageReport, error) {
+	return core.EntryCoverage(s.ps, s.log.Snapshot(), s.vocab)
+}
+
+// Patterns runs refinement (Algorithm 2) over the audit log without
+// adopting anything.
+func (s *System) Patterns() ([]Pattern, error) {
+	return core.Refinement(s.ps, s.log.Snapshot(), s.vocab, s.session.Opts)
+}
+
+// PatternEvidence runs refinement and annotates each useful pattern
+// with its behavioural evidence, sorted safest-first.
+func (s *System) PatternEvidence() ([]PatternEvidence, error) {
+	entries := s.log.Snapshot()
+	patterns, err := core.Refinement(s.ps, entries, s.vocab, s.session.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.AnnotatePatterns(core.Filter(entries), patterns), nil
+}
+
+// RunRefinement performs one reviewed refinement round over the audit
+// log; adopted patterns take effect on subsequent queries.
+func (s *System) RunRefinement(reviewer Reviewer) (Round, error) {
+	return s.session.Run(s.log.Snapshot(), reviewer)
+}
+
+// RefinementHistory returns the recorded rounds.
+func (s *System) RefinementHistory() []Round { return s.session.History }
+
+// WriteReport renders the privacy-officer Markdown report for the
+// system's current state: both coverage semantics over the audit log,
+// the refinement history, and audit statistics.
+func (s *System) WriteReport(w io.Writer, title string) error {
+	entries := s.log.Snapshot()
+	cov, err := s.Coverage()
+	if err != nil {
+		return err
+	}
+	ec, err := core.EntryCoverage(s.ps, entries, s.vocab)
+	if err != nil {
+		return err
+	}
+	return report.Write(w, report.Input{
+		Title:         title,
+		Generated:     time.Now(),
+		Coverage:      cov,
+		EntryCoverage: ec,
+		Rounds:        s.session.History,
+		Entries:       entries,
+	})
+}
+
+// Generalize rewrites the policy store into an equivalent smaller
+// policy (lifting sibling rules to their vocabulary parents and
+// dropping redundant rules) and applies it in place. The store's
+// range — and therefore every coverage figure — is unchanged.
+func (s *System) Generalize() (*core.GeneralizeResult, error) {
+	res, err := core.Generalize(s.ps, s.vocab)
+	if err != nil {
+		return nil, err
+	}
+	s.ps.SetRules(res.Policy.Rules())
+	return res, nil
+}
