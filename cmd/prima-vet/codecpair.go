@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// codecpair enforces the repo's codec symmetry convention: every
+// Encode*/Marshal* declared in a codec.go must have the matching
+// Decode*/Unmarshal*, and both names must appear in the sibling
+// codec_test.go — serialization without a verified round trip is how
+// audit archives rot.
+var codecpairAnalyzer = &Analyzer{
+	Name: "codecpair",
+	Doc:  "every Encode*/Marshal* in codec.go needs its Decode*/Unmarshal* and a round-trip test in codec_test.go",
+	Run:  runCodecpair,
+}
+
+// codecPairs maps an encoder prefix to its required decoder prefix.
+// Audit streams use Write*/Read* (WriteJSONL/ReadJSONL): same
+// symmetry, same requirement.
+var codecPairs = []struct{ enc, dec string }{
+	{"Encode", "Decode"},
+	{"Marshal", "Unmarshal"},
+	{"Write", "Read"},
+}
+
+// codecPairExempt lists encoder names whose decoder follows a
+// different naming scheme: the policy/vocab text form written by
+// WriteText is parsed by Parse*, which the prefix rule cannot pair
+// without false positives.
+var codecPairExempt = map[string]bool{
+	"WriteText": true,
+}
+
+func runCodecpair(p *Package) []Finding {
+	// Gather function names declared in codec.go and in codec_test.go.
+	inCodec := make(map[string]*ast.FuncDecl)
+	var encoders []string
+	for _, f := range p.Files {
+		if base(p, f) != "codec.go" {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			// Methods on different receivers may share a name
+			// (Rule.MarshalJSON and Policy.MarshalJSON); the check is
+			// name-based, so record each name once.
+			if _, seen := inCodec[fd.Name.Name]; !seen {
+				inCodec[fd.Name.Name] = fd
+				encoders = append(encoders, fd.Name.Name)
+			}
+		}
+	}
+	if len(inCodec) == 0 {
+		return nil
+	}
+	sort.Strings(encoders)
+
+	testNames := make(map[string]bool)
+	hasCodecTest := false
+	for _, f := range p.TestFiles {
+		if base(p, f) != "codec_test.go" {
+			continue
+		}
+		hasCodecTest = true
+		// Any identifier mentioned anywhere in the test file counts as
+		// exercised — round-trip tests call both directions.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				testNames[id.Name] = true
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	for _, enc := range encoders {
+		if codecPairExempt[enc] {
+			continue
+		}
+		var decoder string
+		for _, pair := range codecPairs {
+			if strings.HasPrefix(enc, pair.enc) {
+				decoder = pair.dec + strings.TrimPrefix(enc, pair.enc)
+				break
+			}
+		}
+		if decoder == "" {
+			continue
+		}
+		fd := inCodec[enc]
+		if _, ok := inCodec[decoder]; !ok {
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(fd.Pos()),
+				Analyzer: "codecpair",
+				Message:  fmt.Sprintf("%s has no matching %s in codec.go", enc, decoder),
+			})
+			continue
+		}
+		if !hasCodecTest {
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(fd.Pos()),
+				Analyzer: "codecpair",
+				Message:  fmt.Sprintf("%s/%s pair has no sibling codec_test.go with a round-trip test", enc, decoder),
+			})
+			continue
+		}
+		if !exercised(testNames, enc) || !exercised(testNames, decoder) {
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(fd.Pos()),
+				Analyzer: "codecpair",
+				Message:  fmt.Sprintf("codec_test.go does not exercise both %s and %s (round trip untested)", enc, decoder),
+			})
+		}
+	}
+	return out
+}
+
+// exercised reports whether the test file mentions the function. The
+// idiomatic round trip for MarshalJSON/UnmarshalJSON methods goes
+// through json.Marshal/json.Unmarshal — the method name itself never
+// appears — so the encoding/json driver names count for those.
+func exercised(testNames map[string]bool, name string) bool {
+	if testNames[name] {
+		return true
+	}
+	for _, driver := range []string{"Marshal", "Unmarshal"} {
+		if strings.HasPrefix(name, driver) && testNames[driver] {
+			return true
+		}
+	}
+	return false
+}
+
+// base returns the file's base name.
+func base(p *Package, f *ast.File) string {
+	name := p.Fset.File(f.Pos()).Name()
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcheck-lite flags discarded error results on the audit, codec and
+// federation paths. A dropped error from audit.Log.Append or a codec
+// Write* means an enforcement decision silently vanished from the
+// audit trail — the exact failure §4's architecture exists to prevent.
+//
+// Scope is deliberately narrow: only calls to functions declared in
+// this module whose names carry I/O-shaped prefixes are checked, so
+// fmt.Println and friends stay out of scope.
+var errcheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "audit/codec/federation errors must not be discarded",
+	Run:  runErrcheck,
+}
+
+// errProneFuncs matches callee names that sit on audited I/O paths.
+var errPronePrefixes = []string{
+	"Append", "Write", "Read", "Encode", "Decode",
+	"Marshal", "Unmarshal", "Parse", "Consolidate",
+}
+
+func errProneName(name string) bool {
+	for _, p := range errPronePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrcheck(p *Package) []Finding {
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					if msg := discardedError(p, call, nil); msg != "" {
+						out = append(out, Finding{
+							Pos:      p.Fset.Position(call.Pos()),
+							Analyzer: "errcheck",
+							Message:  msg,
+						})
+					}
+				}
+			case *ast.AssignStmt:
+				// _ = f(...) or a, _ := f(...) where the blank slot is
+				// the error result.
+				if len(x.Rhs) != 1 {
+					return true
+				}
+				call, ok := x.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if msg := discardedError(p, call, x.Lhs); msg != "" {
+					out = append(out, Finding{
+						Pos:      p.Fset.Position(call.Pos()),
+						Analyzer: "errcheck",
+						Message:  msg,
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// discardedError reports a non-empty message when call returns an
+// error from a module-local, error-prone function and either lhs is
+// nil (bare statement) or the error position on lhs is blank.
+func discardedError(p *Package, call *ast.CallExpr, lhs []ast.Expr) string {
+	name, sig := calleeNameAndSig(p, call)
+	if name == "" || !errProneName(name) || sig == nil {
+		return ""
+	}
+	errIdx := -1
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return ""
+	}
+	if lhs == nil {
+		return fmt.Sprintf("result of %s is an error and is discarded", name)
+	}
+	if errIdx < len(lhs) {
+		if id, ok := lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+			return fmt.Sprintf("error result of %s is assigned to the blank identifier", name)
+		}
+	}
+	return ""
+}
+
+// calleeNameAndSig resolves the called function's name and signature,
+// restricted to functions declared inside the analyzed module (path
+// starts with the module path or is a local fixture package).
+func calleeNameAndSig(p *Package, call *ast.CallExpr) (string, *types.Signature) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", nil
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", nil // builtins / universe
+	}
+	if !moduleLocalPath(p, pkg.Path()) {
+		return "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", nil
+	}
+	return fn.Name(), sig
+}
+
+// moduleLocalPath reports whether path belongs to the module under
+// analysis (the analyzed package itself, or any package sharing its
+// module prefix).
+func moduleLocalPath(p *Package, path string) bool {
+	if path == p.Path {
+		return true
+	}
+	mod := p.Path
+	if i := strings.Index(mod, "/"); i >= 0 {
+		mod = mod[:i]
+	}
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// lockcheck enforces the repo's lock discipline on mutex-guarded
+// structs (audit.Log, policy.Policy, minidb.Table/Database,
+// consent.Store, hdb.Enforcer, ...):
+//
+//  1. a field is *guarded* when any method of the struct writes it
+//     (fields only written at construction are immutable and exempt);
+//  2. every exported method that reads or writes a guarded field must
+//     acquire one of the struct's mutexes (Lock or RLock);
+//  3. a method that locks without a matching defer must not return on
+//     an early path while the lock is still held.
+var lockcheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "exported methods on mutex-guarded structs must hold the lock; no early return while locked",
+	Run:  runLockcheck,
+}
+
+// mutexStruct describes one struct type with mutex fields.
+type mutexStruct struct {
+	name    string
+	mutexes map[string]bool // field name -> is a mutex
+	fields  map[string]bool // every other field name
+	guarded map[string]bool // fields written by some method
+}
+
+func runLockcheck(p *Package) []Finding {
+	structs := lockableStructs(p)
+	if len(structs) == 0 {
+		return nil
+	}
+	methods := methodsByType(p)
+	var names []string
+	for tname := range structs {
+		names = append(names, tname)
+	}
+	sort.Strings(names)
+
+	// Pass 1: a field is guarded when any method of the type writes it.
+	for _, tname := range names {
+		ms := structs[tname]
+		for _, fd := range methods[tname] {
+			recv := recvIdent(fd)
+			if recv == nil {
+				continue
+			}
+			markWrites(fd.Body, recv.Name, ms)
+		}
+	}
+
+	// Pass 2: check exported methods.
+	var out []Finding
+	for _, tname := range names {
+		ms := structs[tname]
+		for _, fd := range methods[tname] {
+			if !fd.Name.IsExported() {
+				continue
+			}
+			recv := recvIdent(fd)
+			if recv == nil {
+				continue
+			}
+			out = append(out, checkMethod(p, fd, recv.Name, ms)...)
+		}
+	}
+	return out
+}
+
+// lockableStructs finds struct types with direct sync.Mutex/RWMutex
+// fields (named or embedded).
+func lockableStructs(p *Package) map[string]*mutexStruct {
+	out := make(map[string]*mutexStruct)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			ms := &mutexStruct{
+				name:    ts.Name.Name,
+				mutexes: make(map[string]bool),
+				fields:  make(map[string]bool),
+				guarded: make(map[string]bool),
+			}
+			for _, fld := range st.Fields.List {
+				isMutex := isMutexType(p, fld.Type)
+				if len(fld.Names) == 0 { // embedded
+					if isMutex {
+						ms.mutexes[embeddedName(fld.Type)] = true
+					}
+					continue
+				}
+				for _, nm := range fld.Names {
+					if isMutex {
+						ms.mutexes[nm.Name] = true
+					} else {
+						ms.fields[nm.Name] = true
+					}
+				}
+			}
+			if len(ms.mutexes) > 0 {
+				out[ms.name] = ms
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isMutexType recognizes sync.Mutex and sync.RWMutex (possibly
+// pointer) by type information, falling back to the AST spelling.
+func isMutexType(p *Package, t ast.Expr) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if tv, ok := p.Info.Types[t]; ok && tv.Type != nil {
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+			}
+		}
+		return false
+	}
+	if sel, ok := t.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "sync" {
+			return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+		}
+	}
+	return false
+}
+
+func embeddedName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if sel, ok := t.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// methodsByType groups the package's methods by receiver type name.
+func methodsByType(p *Package) map[string][]*ast.FuncDecl {
+	out := make(map[string][]*ast.FuncDecl)
+	for _, fd := range funcDecls(p) {
+		if name := recvTypeName(fd); name != "" {
+			out[name] = append(out[name], fd)
+		}
+	}
+	return out
+}
+
+// markWrites records receiver fields assigned anywhere in the body.
+func markWrites(body *ast.BlockStmt, recv string, ms *mutexStruct) {
+	mark := func(e ast.Expr) {
+		if name, ok := recvField(e, recv, ms); ok {
+			ms.guarded[name] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(x.X)
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				mark(x.X) // taking the address enables external writes
+			}
+		}
+		return true
+	})
+}
+
+// recvField matches recv.field (or recv.field[i], recv.field.x) and
+// returns the outermost struct field name.
+func recvField(e ast.Expr, recv string, ms *mutexStruct) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == recv {
+				if ms.fields[x.Sel.Name] {
+					return x.Sel.Name, true
+				}
+				return "", false
+			}
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// checkMethod applies rules 2 and 3 to one exported method.
+func checkMethod(p *Package, fd *ast.FuncDecl, recv string, ms *mutexStruct) []Finding {
+	var out []Finding
+
+	locksHeld := 0 // Lock/RLock calls seen (lexically)
+	deferred := 0  // deferred Unlock/RUnlock registrations
+	unlocked := 0  // explicit Unlock/RUnlock calls
+	locksAny := false
+
+	// guardedUse remembers the first guarded-field access.
+	var guardedUse ast.Expr
+	var guardedName string
+
+	var earlyReturns []ast.Node
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // closures have their own discipline
+		case *ast.DeferStmt:
+			if name, ok := mutexCall(x.Call, recv, ms); ok && (name == "Unlock" || name == "RUnlock") {
+				deferred++
+			}
+			return false
+		case *ast.CallExpr:
+			if name, ok := mutexCall(x, recv, ms); ok {
+				switch name {
+				case "Lock", "RLock":
+					locksHeld++
+					locksAny = true
+				case "Unlock", "RUnlock":
+					unlocked++
+				}
+			}
+		case *ast.SelectorExpr:
+			if name, ok := recvField(x, recv, ms); ok && ms.guarded[name] && guardedUse == nil {
+				guardedUse = x
+				guardedName = name
+			}
+		case *ast.ReturnStmt:
+			if locksHeld > deferred+unlocked {
+				earlyReturns = append(earlyReturns, x)
+			}
+		}
+		return true
+	})
+
+	if guardedUse != nil && !locksAny {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(guardedUse.Pos()),
+			Analyzer: "lockcheck",
+			Message: fmt.Sprintf("%s.%s accesses guarded field %q without acquiring the lock",
+				ms.name, fd.Name.Name, guardedName),
+		})
+	}
+	for _, r := range earlyReturns {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(r.Pos()),
+			Analyzer: "lockcheck",
+			Message: fmt.Sprintf("%s.%s returns while holding the lock (no deferred unlock before this return)",
+				ms.name, fd.Name.Name),
+		})
+	}
+	return out
+}
+
+// mutexCall matches recv.mu.Lock / recv.mu.Unlock / embedded
+// recv.Lock etc. and returns the method name.
+func mutexCall(call *ast.CallExpr, recv string, ms *mutexStruct) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch name := sel.Sel.Name; name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr: // recv.mu.Lock()
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == recv && ms.mutexes[x.Sel.Name] {
+				return name, true
+			}
+		case *ast.Ident: // embedded: recv.Lock()
+			if x.Name == recv && (ms.mutexes["Mutex"] || ms.mutexes["RWMutex"]) {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,26 @@
+// Package codecfix triggers the codecpair analyzer.
+package codecfix
+
+import (
+	"errors"
+	"strconv"
+)
+
+// EncodeThing / DecodeThing form a complete, tested pair.
+func EncodeThing(v int) []byte { return []byte(strconv.Itoa(v)) }
+
+func DecodeThing(b []byte) (int, error) { return strconv.Atoi(string(b)) }
+
+// EncodeOrphan has no decoder at all.
+func EncodeOrphan(v int) []byte { return []byte{byte(v)} } // want codecpair "EncodeOrphan has no matching DecodeOrphan"
+
+// MarshalBlob / UnmarshalBlob exist but codec_test.go never touches
+// them.
+func MarshalBlob(v int) ([]byte, error) { return []byte{byte(v)}, nil } // want codecpair "does not exercise both MarshalBlob and UnmarshalBlob"
+
+func UnmarshalBlob(b []byte) (int, error) {
+	if len(b) != 1 {
+		return 0, errors.New("bad blob")
+	}
+	return int(b[0]), nil
+}

@@ -1,0 +1,11 @@
+package codecfix
+
+import "testing"
+
+func TestThingRoundTrip(t *testing.T) {
+	b := EncodeThing(42)
+	v, err := DecodeThing(b)
+	if err != nil || v != 42 {
+		t.Fatalf("round trip: %d, %v", v, err)
+	}
+}

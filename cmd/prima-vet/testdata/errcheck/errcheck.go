@@ -1,0 +1,35 @@
+// Package errfix triggers the errcheck analyzer.
+package errfix
+
+import "errors"
+
+// AppendEntry stands in for audit.Log.Append: module-local, I/O-shaped
+// name, error result.
+func AppendEntry(s string) error {
+	if s == "" {
+		return errors.New("empty entry")
+	}
+	return nil
+}
+
+// ParseCount returns a value and an error.
+func ParseCount(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty count")
+	}
+	return len(s), nil
+}
+
+func Bad() {
+	AppendEntry("dropped")      // want errcheck "result of AppendEntry is an error and is discarded"
+	_ = AppendEntry("blanked")  // want errcheck "error result of AppendEntry is assigned to the blank identifier"
+	n, _ := ParseCount("seven") // want errcheck "error result of ParseCount is assigned to the blank identifier"
+	_ = n
+}
+
+func Good() (int, error) {
+	if err := AppendEntry("kept"); err != nil {
+		return 0, err
+	}
+	return ParseCount("kept")
+}

@@ -1,0 +1,43 @@
+// Package lockfix triggers the lockcheck analyzer.
+package lockfix
+
+import (
+	"errors"
+	"sync"
+)
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Incr is correct: it writes the guarded field under the lock. Its
+// write is also what marks n as guarded.
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Value is correct: deferred unlock covers every return.
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Peek reads the guarded field without any lock.
+func (c *Counter) Peek() int {
+	return c.n // want lockcheck "accesses guarded field"
+}
+
+// AddPositive leaks the lock on the error path.
+func (c *Counter) AddPositive(d int) error {
+	c.mu.Lock()
+	if d < 0 {
+		return errors.New("negative delta") // want lockcheck "returns while holding the lock"
+	}
+	c.n += d
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package purityfix triggers the puritycheck analyzer.
+package purityfix
+
+import (
+	"sort"
+	"time"
+)
+
+// Coverage is an analyzer root; stamp is reachable from it.
+func Coverage(counts map[string]int) []string {
+	var out []string
+	for k := range counts { // want puritycheck "appends inside a range over map counts without sorting"
+		out = append(out, k)
+	}
+	stamp()
+	return out
+}
+
+func stamp() time.Time {
+	return time.Now() // want puritycheck "calls time.Now"
+}
+
+// SortedNames is clean: it sorts what the map iteration produced.
+func SortedNames(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Helper is not reachable from any root, so its clock use is the
+// caller's business, not the algebra's.
+func Helper() time.Time { return time.Now() }

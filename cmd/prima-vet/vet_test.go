@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRx matches expected-diagnostic annotations in fixtures:
+//
+//	// want <analyzer> "<message substring>"
+var wantRx = regexp.MustCompile(`// want (\w+) "(.*)"`)
+
+type want struct {
+	file     string // base name
+	line     int
+	analyzer string
+	substr   string
+}
+
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRx.FindStringSubmatch(line); m != nil {
+				out = append(out, want{file: e.Name(), line: i + 1, analyzer: m[1], substr: m[2]})
+			}
+		}
+	}
+	return out
+}
+
+// TestFixtures runs every analyzer over the deliberately-broken
+// testdata packages and requires an exact match between findings and
+// // want annotations — no missing and no extra diagnostics.
+func TestFixtures(t *testing.T) {
+	for _, fixture := range []string{"lockcheck", "purity", "errcheck", "codecpair"} {
+		t.Run(fixture, func(t *testing.T) {
+			dir := filepath.Join("testdata", fixture)
+			loader, err := NewLoader(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := loader.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+			}
+			findings := runAnalyzers(pkg)
+			wants := parseWants(t, dir)
+			if len(wants) == 0 {
+				t.Fatal("fixture has no // want annotations")
+			}
+
+			matched := make([]bool, len(findings))
+			for _, w := range wants {
+				found := false
+				for i, f := range findings {
+					if matched[i] {
+						continue
+					}
+					if filepath.Base(f.Pos.Filename) == w.file && f.Pos.Line == w.line &&
+						f.Analyzer == w.analyzer && strings.Contains(f.Message, w.substr) {
+						matched[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("missing finding %s:%d [%s] %q\ngot:\n%s",
+						w.file, w.line, w.analyzer, w.substr, findingList(findings))
+				}
+			}
+			for i, f := range findings {
+				if !matched[i] {
+					t.Errorf("unexpected finding %s", f)
+				}
+			}
+		})
+	}
+}
+
+func findingList(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+// TestCleanRepo is the self-test the CI gate relies on: the repo's
+// own packages must produce zero findings.
+func TestCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("prima-vet ./... exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestExitCodes pins the documented contract: 0 clean, 1 findings,
+// 2 usage error.
+func TestExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./testdata/errcheck"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("broken fixture exited %d, want 1:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[errcheck]") {
+		t.Errorf("findings not printed: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing dir exited %d, want 2", code)
+	}
+}
+
+// TestExpandSkipsTestdata keeps the fixture packages out of ./...
+// walks: they are deliberately broken.
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("./... expanded into %s", d)
+		}
+	}
+	if len(dirs) == 0 {
+		t.Error("./... expanded to nothing")
+	}
+}

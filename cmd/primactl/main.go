@@ -10,6 +10,7 @@
 //	primactl refine   -vocab V -policy P -audit A [-support 5] [-users 2] [-adopt -out P']
 //	primactl generalize -vocab V -policy P [-out P']
 //	primactl report   -vocab V -policy P -audit A [-title T]
+//	primactl lint     -vocab V -policy P [-json]  static policy-store analysis
 //	primactl vocab    [-file V]             print a vocabulary (default: the paper's)
 //
 // Vocabularies use the indented text format, policies one compact
@@ -17,14 +18,37 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 )
 
+// exitError carries a specific process exit status through run: lint
+// distinguishes "findings" (1) from "usage error" (2) so scripts and
+// CI can tell a dirty policy from a broken invocation.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	return 1
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "primactl:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -45,8 +69,10 @@ func run(args []string) error {
 		return cmdGeneralize(args[1:])
 	case "report":
 		return cmdReport(args[1:])
+	case "lint":
+		return cmdLint(args[1:])
 	case "help", "-h", "--help":
-		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, generalize, report, vocab")
+		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, generalize, report, lint, vocab")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

@@ -90,7 +90,11 @@ func New(db *minidb.Database, ps *policy.Policy, v *vocab.Vocabulary, cs *consen
 
 // SetClock overrides the audit timestamp source; tests and the
 // workflow simulator use it for deterministic logs.
-func (e *Enforcer) SetClock(clock func() time.Time) { e.clock = clock }
+func (e *Enforcer) SetClock(clock func() time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock = clock
+}
 
 // SetStrictVocabulary toggles strict mode: when on, queries carrying
 // a purpose or role unknown to the vocabulary are rejected outright.
@@ -382,7 +386,10 @@ func (e *Enforcer) audit(p Principal, purpose, reason string, acc *Access, op au
 	if acc.Exception {
 		status = audit.Exception
 	}
-	now := e.clock()
+	e.mu.RLock()
+	clock := e.clock
+	e.mu.RUnlock()
+	now := clock()
 	for _, cat := range cats {
 		entry := audit.Entry{
 			Time:       now,

@@ -1,0 +1,247 @@
+// Package lint statically analyzes a policy store against a
+// vocabulary — the domain layer of the repo's static-analysis pass.
+// Where cmd/prima-vet checks the code that manipulates policies, this
+// package checks the policy artifacts themselves, before enforcement
+// ever runs: a rule referencing an attribute the vocabulary does not
+// know can never match an audit entry, a rule whose Range (Definition
+// 8) is contained in another's is dead weight the refinement loop
+// will re-derive, and a vocabulary subtree no rule can reach is a
+// coverage hole waiting for Algorithm 1 to report it in production.
+//
+// Finding codes:
+//
+//	PL001 unknown-attribute   a rule term uses an attribute absent from the vocabulary
+//	PL002 unknown-value       a rule term uses a value absent from its attribute's hierarchy
+//	PL003 empty-range         a rule has no computable Range (zero rule, or expansion over limit)
+//	PL004 duplicate-rule      two rules have identical Ranges (Definitions 6/8)
+//	PL005 subsumed-rule       a rule's Range is strictly contained in another's (Definition 8)
+//	PL006 unreachable-subtree a vocabulary subtree no rule's Range touches
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// Finding codes.
+const (
+	UnknownAttribute   = "PL001"
+	UnknownValue       = "PL002"
+	EmptyRange         = "PL003"
+	DuplicateRule      = "PL004"
+	SubsumedRule       = "PL005"
+	UnreachableSubtree = "PL006"
+)
+
+// Finding is one diagnostic about a policy/vocabulary pair.
+type Finding struct {
+	Code string `json:"code"`
+	// Rule is the 1-based index of the offending rule within the
+	// analyzed policy; 0 for vocabulary-level findings (PL006).
+	Rule    int    `json:"rule,omitempty"`
+	Attr    string `json:"attr,omitempty"`
+	Value   string `json:"value,omitempty"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	if f.Rule > 0 {
+		return fmt.Sprintf("%s rule %d: %s", f.Code, f.Rule, f.Message)
+	}
+	return fmt.Sprintf("%s: %s", f.Code, f.Message)
+}
+
+// Report is the outcome of linting one policy against one vocabulary.
+type Report struct {
+	Policy   string    `json:"policy"`
+	Rules    int       `json:"rules"`
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// Clean reports whether the lint pass produced no findings.
+func (r Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Counts returns the number of findings per code.
+func (r Report) Counts() map[string]int {
+	out := make(map[string]int)
+	for _, f := range r.Findings {
+		out[f.Code]++
+	}
+	return out
+}
+
+// WriteText renders the report one finding per line.
+func (r Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "policy %s: %d rule(s), %d finding(s)\n", r.Policy, r.Rules, len(r.Findings)); err != nil {
+		return err
+	}
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintf(w, "  %s\n", f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as one JSON document.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Policy lints p against v.
+func Policy(p *policy.Policy, v *vocab.Vocabulary) Report {
+	return Rules(p.Name, p.Rules(), v)
+}
+
+// Rules lints a bare rule list against v. Policy deduplicates on Add,
+// so fixtures exercising PL003/PL004 need this entry point; primactl
+// goes through Policy.
+func Rules(name string, rules []policy.Rule, v *vocab.Vocabulary) Report {
+	rep := Report{Policy: name, Rules: len(rules)}
+	add := func(f Finding) { rep.Findings = append(rep.Findings, f) }
+
+	// Per-rule checks (PL001, PL002, PL003) and Range computation.
+	ranges := make([]map[string]bool, len(rules))
+	for i, r := range rules {
+		if r.IsZero() {
+			add(Finding{
+				Code: EmptyRange, Rule: i + 1,
+				Message: "rule has no terms; its Range is empty and it can never cover an access",
+			})
+			continue
+		}
+		for _, t := range r.Terms() {
+			h := v.Hierarchy(t.Attr)
+			if h == nil {
+				add(Finding{
+					Code: UnknownAttribute, Rule: i + 1, Attr: t.Attr,
+					Message: fmt.Sprintf("term %s uses attribute %q, which is not in the vocabulary", t, t.Attr),
+				})
+				continue
+			}
+			if !h.Contains(t.Value) {
+				add(Finding{
+					Code: UnknownValue, Rule: i + 1, Attr: t.Attr, Value: t.Value,
+					Message: fmt.Sprintf("term %s uses value %q, which is not in the %q hierarchy", t, t.Value, h.Attr()),
+				})
+			}
+		}
+		grounds, truncated := r.Groundings(v, policy.DefaultRangeLimit)
+		if truncated {
+			add(Finding{
+				Code: EmptyRange, Rule: i + 1,
+				Message: fmt.Sprintf("Range expansion of %s exceeds %d rules; the rule cannot be verified", r, policy.DefaultRangeLimit),
+			})
+			continue
+		}
+		set := make(map[string]bool, len(grounds))
+		for _, g := range grounds {
+			set[g.Key()] = true
+		}
+		ranges[i] = set
+	}
+
+	// Pairwise Range comparison (PL004, PL005): Definition 8 makes the
+	// Range the semantic identity of a rule, so equal ranges mean
+	// duplicate rules and strict containment means subsumption.
+	for i := 0; i < len(rules); i++ {
+		for j := i + 1; j < len(rules); j++ {
+			a, b := ranges[i], ranges[j]
+			if a == nil || b == nil {
+				continue
+			}
+			aInB, bInA := contained(a, b), contained(b, a)
+			switch {
+			case aInB && bInA:
+				add(Finding{
+					Code: DuplicateRule, Rule: j + 1,
+					Message: fmt.Sprintf("rule %s has the same Range as rule %d %s (Definition 6 equivalence)", rules[j], i+1, rules[i]),
+				})
+			case bInA:
+				add(Finding{
+					Code: SubsumedRule, Rule: j + 1,
+					Message: fmt.Sprintf("rule %s is subsumed by rule %d %s (Definition 8 range containment)", rules[j], i+1, rules[i]),
+				})
+			case aInB:
+				add(Finding{
+					Code: SubsumedRule, Rule: i + 1,
+					Message: fmt.Sprintf("rule %s is subsumed by rule %d %s (Definition 8 range containment)", rules[i], j+1, rules[j]),
+				})
+			}
+		}
+	}
+
+	// Unreachable vocabulary subtrees (PL006). For each attribute,
+	// collect the ground values any rule can reach; a maximal subtree
+	// whose ground set is disjoint from that is dead vocabulary —
+	// either obsolete taxonomy or a coverage hole.
+	for _, attr := range v.Attributes() {
+		h := v.Hierarchy(attr)
+		covered := make(map[string]bool)
+		referenced := false
+		for _, r := range rules {
+			val, ok := r.Value(attr)
+			if !ok {
+				continue
+			}
+			referenced = true
+			for _, g := range h.GroundSet(val) {
+				covered[vocab.Norm(g)] = true
+			}
+		}
+		if !referenced {
+			add(Finding{
+				Code: UnreachableSubtree, Attr: h.Attr(),
+				Message: fmt.Sprintf("no rule constrains attribute %q; its entire hierarchy is unreachable", h.Attr()),
+			})
+			continue
+		}
+		var walk func(n *vocab.Node)
+		walk = func(n *vocab.Node) {
+			if !reaches(h, n.Value(), covered) {
+				add(Finding{
+					Code: UnreachableSubtree, Attr: h.Attr(), Value: n.Value(),
+					Message: fmt.Sprintf("subtree %q of attribute %q is not reachable by any rule's Range", n.Value(), h.Attr()),
+				})
+				return // report the maximal dead subtree only
+			}
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		for _, root := range h.Roots() {
+			walk(root)
+		}
+	}
+
+	return rep
+}
+
+// contained reports a ⊆ b.
+func contained(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// reaches reports whether any ground value under value is covered.
+func reaches(h *vocab.Hierarchy, value string, covered map[string]bool) bool {
+	for _, g := range h.GroundSet(value) {
+		if covered[vocab.Norm(g)] {
+			return true
+		}
+	}
+	return false
+}

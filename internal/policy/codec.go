@@ -77,10 +77,16 @@ func ParsePolicyString(name, s string) (*Policy, error) {
 }
 
 // WriteText writes the policy in the form accepted by ParsePolicy.
+// Name and rules are snapshotted together so a concurrent
+// UnmarshalJSON cannot produce a torn header/body combination.
 func (p *Policy) WriteText(w io.Writer) error {
+	p.mu.RLock()
+	name := p.Name
+	rules := append([]Rule(nil), p.rules...)
+	p.mu.RUnlock()
+
 	bw := bufio.NewWriter(w)
-	rules := p.Rules()
-	if _, err := fmt.Fprintf(bw, "# policy %s (%d rules)\n", p.Name, len(rules)); err != nil {
+	if _, err := fmt.Fprintf(bw, "# policy %s (%d rules)\n", name, len(rules)); err != nil {
 		return err
 	}
 	for _, r := range rules {
@@ -94,7 +100,10 @@ func (p *Policy) WriteText(w io.Writer) error {
 // TextString renders the policy in text form.
 func (p *Policy) TextString() string {
 	var b strings.Builder
-	_ = p.WriteText(&b)
+	if err := p.WriteText(&b); err != nil {
+		// strings.Builder writes cannot fail.
+		panic("policy: TextString: " + err.Error())
+	}
 	return b.String()
 }
 
@@ -120,12 +129,18 @@ type jsonPolicy struct {
 	Rules []Rule `json:"rules"`
 }
 
-// MarshalJSON encodes the policy with its name and rules.
+// MarshalJSON encodes the policy with its name and rules, snapshotted
+// under one read lock.
 func (p *Policy) MarshalJSON() ([]byte, error) {
-	return json.Marshal(jsonPolicy{Name: p.Name, Rules: p.Rules()})
+	p.mu.RLock()
+	jp := jsonPolicy{Name: p.Name, Rules: append([]Rule(nil), p.rules...)}
+	p.mu.RUnlock()
+	return json.Marshal(jp)
 }
 
-// UnmarshalJSON decodes a policy, deduplicating rules.
+// UnmarshalJSON decodes a policy, deduplicating rules. Name and rules
+// are replaced under a single write lock so concurrent readers never
+// observe the new name with the old rules.
 func (p *Policy) UnmarshalJSON(data []byte) error {
 	var jp jsonPolicy
 	if err := json.Unmarshal(data, &jp); err != nil {
@@ -135,7 +150,9 @@ func (p *Policy) UnmarshalJSON(data []byte) error {
 	for _, r := range jp.Rules {
 		np.Add(r)
 	}
+	p.mu.Lock()
 	p.Name = np.Name
-	p.SetRules(np.Rules())
+	p.rules = append(p.rules[:0:0], np.rules...)
+	p.mu.Unlock()
 	return nil
 }

@@ -55,11 +55,15 @@ func (e *Enforcer) Fetch(p hdb.Principal, purpose string, rec *Node) (Redaction,
 		return e.allowed(rg, category, purpose, p.Role)
 	})
 	if len(red.Kept) == 0 && len(e.mapping.Classify(rec)) > 0 {
-		e.auditCats(p, purpose, "", e.mapping.Classify(rec), audit.Deny, audit.Regular)
+		if err := e.auditCats(p, purpose, "", e.mapping.Classify(rec), audit.Deny, audit.Regular); err != nil {
+			return Redaction{}, err
+		}
 		return red, fmt.Errorf("%w: no visible categories in record for %s by %s",
 			hdb.ErrDenied, purpose, p.Role)
 	}
-	e.auditCats(p, purpose, "", red.Kept, audit.Allow, audit.Regular)
+	if err := e.auditCats(p, purpose, "", red.Kept, audit.Allow, audit.Regular); err != nil {
+		return Redaction{}, err
+	}
 	return red, nil
 }
 
@@ -76,7 +80,9 @@ func (e *Enforcer) BreakGlass(p hdb.Principal, purpose, reason string, rec *Node
 		return nil, fmt.Errorf("treerec: break-glass access requires a reason")
 	}
 	cats := e.mapping.Classify(rec)
-	e.auditCats(p, purpose, reason, cats, audit.Allow, audit.Exception)
+	if err := e.auditCats(p, purpose, reason, cats, audit.Allow, audit.Exception); err != nil {
+		return nil, err
+	}
 	return rec.Clone(), nil
 }
 
@@ -98,13 +104,15 @@ func (e *Enforcer) allowed(rg *policy.Range, category, purpose, role string) boo
 	return true
 }
 
-func (e *Enforcer) auditCats(p hdb.Principal, purpose, reason string, cats []string, op audit.Op, st audit.Status) {
+// auditCats appends one entry per category and fails on the first
+// append error: an access that cannot be audited must not proceed.
+func (e *Enforcer) auditCats(p hdb.Principal, purpose, reason string, cats []string, op audit.Op, st audit.Status) error {
 	if e.log == nil {
-		return
+		return nil
 	}
 	now := e.clock()
 	for _, cat := range cats {
-		_ = e.log.Append(audit.Entry{
+		err := e.log.Append(audit.Entry{
 			Time:       now,
 			Op:         op,
 			User:       p.User,
@@ -114,5 +122,9 @@ func (e *Enforcer) auditCats(p hdb.Principal, purpose, reason string, cats []str
 			Status:     st,
 			Reason:     reason,
 		})
+		if err != nil {
+			return fmt.Errorf("treerec: audit append: %w", err)
+		}
 	}
+	return nil
 }

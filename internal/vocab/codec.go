@@ -159,7 +159,10 @@ func (v *Vocabulary) WriteText(w io.Writer) error {
 // TextString renders the vocabulary in the text format.
 func (v *Vocabulary) TextString() string {
 	var b strings.Builder
-	_ = v.WriteText(&b)
+	if err := v.WriteText(&b); err != nil {
+		// strings.Builder writes cannot fail.
+		panic("vocab: TextString: " + err.Error())
+	}
 	return b.String()
 }
 

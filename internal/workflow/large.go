@@ -25,15 +25,20 @@ func LargeHospital(seed int64, departments int) Config {
 		Seed:             seed,
 		DocumentedPerDay: 40 * float64(departments),
 	}
-	roleCounts := map[string]int{
-		"nurse": 6, "doctor": 3, "psychiatrist": 1, "clerk": 3, "lab_tech": 2,
+	// Ordered roster: the staff list feeds the seeded simulator, so
+	// its order must be deterministic run to run.
+	roleCounts := []struct {
+		role string
+		n    int
+	}{
+		{"nurse", 6}, {"doctor", 3}, {"psychiatrist", 1}, {"clerk", 3}, {"lab_tech", 2},
 	}
 	for d := 0; d < departments; d++ {
-		for role, n := range roleCounts {
-			for i := 0; i < n; i++ {
+		for _, rc := range roleCounts {
+			for i := 0; i < rc.n; i++ {
 				cfg.Staff = append(cfg.Staff, Staff{
-					Name: fmt.Sprintf("%s-%d-%d", role, d, i),
-					Role: role,
+					Name: fmt.Sprintf("%s-%d-%d", rc.role, d, i),
+					Role: rc.role,
 				})
 			}
 		}

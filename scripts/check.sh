@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# check.sh — the full CI gate, runnable locally.
+#
+# Order matters: cheap structural checks first, the custom static
+# analysis before the test suite (a lock-discipline violation should
+# fail the build even while its race is still too rare for -race to
+# catch), and the race detector last because it is the slowest.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt"
+fmtout=$(gofmt -l . 2>/dev/null)
+if [ -n "$fmtout" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmtout" >&2
+    exit 1
+fi
+
+echo "==> prima-vet ./... (custom static analysis)"
+go run ./cmd/prima-vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrency suites: audit, hdb, minidb)"
+go test -race ./internal/audit/ ./internal/hdb/ ./internal/minidb/
+
+echo "All checks passed."

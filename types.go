@@ -7,6 +7,7 @@ import (
 	"repro/internal/consent"
 	"repro/internal/core"
 	"repro/internal/hdb"
+	"repro/internal/lint"
 	"repro/internal/mining"
 	"repro/internal/policy"
 	"repro/internal/vocab"
@@ -73,6 +74,11 @@ type (
 	Staff = workflow.Staff
 	// ExtractionScore is precision/recall against ground truth.
 	ExtractionScore = workflow.Score
+
+	// LintFinding is one diagnostic from the policy-store linter.
+	LintFinding = lint.Finding
+	// LintReport is the outcome of linting a policy against a vocabulary.
+	LintReport = lint.Report
 )
 
 // Reviewer decisions.
@@ -201,3 +207,8 @@ func DefaultHospital(seed int64) SimConfig { return workflow.DefaultHospital(see
 func EvaluateExtraction(found, informal, violations []Rule) ExtractionScore {
 	return workflow.Evaluate(found, informal, violations)
 }
+
+// Lint statically analyzes a policy store against a vocabulary,
+// reporting unknown attributes/values, empty-Range rules,
+// duplicate/subsumed rules, and unreachable vocabulary subtrees.
+func Lint(p *Policy, v *Vocabulary) LintReport { return lint.Policy(p, v) }
