@@ -16,7 +16,11 @@ import (
 //  2. every exported method that reads or writes a guarded field must
 //     acquire one of the struct's mutexes (Lock or RLock);
 //  3. a method that locks without a matching defer must not return on
-//     an early path while the lock is still held.
+//     an early path while the lock is still held;
+//  4. a struct that pairs its mutex with a field named "version"
+//     promises cache invalidation on every mutation: any method that
+//     writes another guarded field must also bump version (or
+//     delegate to a method on the same receiver that does).
 var lockcheckAnalyzer = &Analyzer{
 	Name: "lockcheck",
 	Doc:  "exported methods on mutex-guarded structs must hold the lock; no early return while locked",
@@ -70,7 +74,80 @@ func runLockcheck(p *Package) []Finding {
 			out = append(out, checkMethod(p, fd, recv.Name, ms)...)
 		}
 	}
+
+	// Pass 3: version discipline (rule 4). Checked on every method,
+	// exported or not — the bump most often lives in an unexported
+	// helper (addLocked), which is exactly the method that must not
+	// forget it.
+	for _, tname := range names {
+		ms := structs[tname]
+		if !ms.fields["version"] {
+			continue
+		}
+		for _, fd := range methods[tname] {
+			recv := recvIdent(fd)
+			if recv == nil {
+				continue
+			}
+			out = append(out, checkVersionBump(p, fd, recv.Name, ms)...)
+		}
+	}
 	return out
+}
+
+// checkVersionBump applies rule 4 to one method of a versioned struct:
+// if the method writes a guarded field other than "version", it must
+// also write version, or call another method on the same receiver
+// (delegation — the callee is checked on its own).
+func checkVersionBump(p *Package, fd *ast.FuncDecl, recv string, ms *mutexStruct) []Finding {
+	var firstWrite ast.Expr
+	var firstName string
+	bumpsVersion := false
+	delegates := false
+
+	mark := func(e ast.Expr) {
+		name, ok := recvField(e, recv, ms)
+		if !ok {
+			return
+		}
+		if name == "version" {
+			bumpsVersion = true
+		} else if firstWrite == nil {
+			firstWrite = e
+			firstName = name
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(x.X)
+		case *ast.CallExpr:
+			if _, isLock := mutexCall(x, recv, ms); isLock {
+				break
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv &&
+					!ms.fields[sel.Sel.Name] && !ms.mutexes[sel.Sel.Name] {
+					delegates = true
+				}
+			}
+		}
+		return true
+	})
+
+	if firstWrite != nil && !bumpsVersion && !delegates {
+		return []Finding{{
+			Pos:      p.Fset.Position(firstWrite.Pos()),
+			Analyzer: "lockcheck",
+			Message: fmt.Sprintf("%s.%s mutates guarded field %q without bumping version",
+				ms.name, fd.Name.Name, firstName),
+		}}
+	}
+	return nil
 }
 
 // lockableStructs finds struct types with direct sync.Mutex/RWMutex

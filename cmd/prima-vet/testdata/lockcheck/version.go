@@ -1,0 +1,61 @@
+package lockfix
+
+import "sync"
+
+// Store pairs its mutex with a version counter, opting into the
+// version-bump discipline (lockcheck rule 4): caches validate derived
+// artifacts against the counter, so a mutation that skips the bump
+// serves stale data silently.
+type Store struct {
+	mu      sync.RWMutex
+	items   []string
+	index   map[string]int
+	version uint64
+}
+
+// Put is correct: it mutates guarded fields and bumps the counter.
+func (s *Store) Put(item string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index[item] = len(s.items)
+	s.items = append(s.items, item)
+	s.version++
+}
+
+// Drop forgets the bump: a cache keyed on version would keep serving
+// the dropped item.
+func (s *Store) Drop(item string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[item]
+	if !ok {
+		return
+	}
+	s.items[i] = "" // want lockcheck "without bumping version"
+	delete(s.index, item)
+}
+
+// Replace delegates the mutation to a helper on the same receiver;
+// the helper carries the bump, so neither method is flagged.
+func (s *Store) Replace(items []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reset()
+	for _, it := range items {
+		s.index[it] = len(s.items)
+		s.items = append(s.items, it)
+	}
+}
+
+func (s *Store) reset() {
+	s.items = s.items[:0]
+	s.index = map[string]int{}
+	s.version++
+}
+
+// Version reads the counter under the lock; reads need no bump.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}

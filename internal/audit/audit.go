@@ -114,6 +114,13 @@ func (e Entry) Rule() policy.Rule {
 	)
 }
 
+// RuleKey returns the canonical key of Rule() without constructing
+// the rule. Row-level coverage uses it to test range membership with
+// one string build per audit row.
+func (e Entry) RuleKey() string {
+	return policy.TripleKey(e.Data, e.Purpose, e.Authorized)
+}
+
 // Key returns a canonical identity for deduplication across federated
 // logs: same instant, same actor, same object, same outcome.
 func (e Entry) Key() string {

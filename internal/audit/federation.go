@@ -1,8 +1,13 @@
 package audit
 
 import (
+	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+
+	"repro/internal/vocab"
 )
 
 // Federation consolidates several site audit logs into one consistent
@@ -45,60 +50,149 @@ type Result struct {
 	Conflicts  []Conflict // same event identity, different outcome
 }
 
+// mergeCursor is one source log's sorted entries plus the read
+// position; src is the source index, the deterministic tie-break.
+type mergeCursor struct {
+	entries []Entry
+	pos     int
+	src     int
+}
+
+// cursorHeap is a min-heap of cursors ordered by the timestamp of
+// their next entry, ties broken by source index — exactly the order
+// the linear best-cursor scan produced (the first source with the
+// minimal time wins), so the consolidated view is unchanged.
+type cursorHeap []*mergeCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	ti, tj := h[i].entries[h[i].pos].Time, h[j].entries[h[j].pos].Time
+	if ti.Equal(tj) {
+		return h[i].src < h[j].src
+	}
+	return ti.Before(tj)
+}
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(*mergeCursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// replicaKey is the identity of an entry within one instant: two
+// same-instant entries with equal replicaKeys are replicas of the same
+// event. The timestamp is not part of the key — the merge emits
+// entries in time order, so dedup state is scoped to the current
+// instant and cleared when time advances. A comparable struct key
+// replaces the per-row string formatting of the previous
+// implementation.
+type replicaKey struct {
+	op         Op
+	user       string
+	data       string
+	purpose    string
+	authorized string
+	status     Status
+}
+
+// eventKey is the same-instant identity without the outcome, for
+// conflict detection.
+type eventKey struct {
+	user    string
+	data    string
+	purpose string
+}
+
 // Consolidate builds the consolidated view. The merge is a k-way merge
-// by timestamp (each source log is sorted first, so out-of-order
-// appends at a site are tolerated). Entries that are byte-identical in
-// the seven schema columns are treated as replicas of the same event
-// and collapsed; entries that agree on (time, user, data, purpose)
-// but disagree on op or status are kept and reported as conflicts.
+// by timestamp over a min-heap of source cursors (each source log is
+// sorted first — concurrently when GOMAXPROCS allows — so
+// out-of-order appends at a site are tolerated). Entries that are
+// byte-identical in the seven schema columns are treated as replicas
+// of the same event and collapsed; entries that agree on (time, user,
+// data, purpose) but disagree on op or status are kept and reported
+// as conflicts.
 func (f *Federation) Consolidate() Result {
-	type cursor struct {
-		entries []Entry
-		pos     int
-	}
-	cursors := make([]*cursor, 0, len(f.sources))
+	snapshots := make([][]Entry, len(f.sources))
 	total := 0
-	for _, src := range f.sources {
-		es := src.Snapshot()
-		SortByTime(es)
-		total += len(es)
-		cursors = append(cursors, &cursor{entries: es})
+	for i, src := range f.sources {
+		snapshots[i] = src.Snapshot()
+		total += len(snapshots[i])
 	}
+	if runtime.GOMAXPROCS(0) > 1 && len(snapshots) > 1 {
+		var wg sync.WaitGroup
+		for i := range snapshots {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				SortByTime(snapshots[i])
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range snapshots {
+			SortByTime(snapshots[i])
+		}
+	}
+
+	h := make(cursorHeap, 0, len(snapshots))
+	for i, es := range snapshots {
+		if len(es) > 0 {
+			h = append(h, &mergeCursor{entries: es, src: i})
+		}
+	}
+	heap.Init(&h)
 
 	var res Result
 	res.Entries = make([]Entry, 0, total)
-	seen := make(map[string]bool, total)
-	// identity without outcome, for conflict detection
-	byEvent := make(map[string]Entry, total)
+	// Dedup and conflict state is scoped to the current instant: the
+	// merge emits entries in time order and both identities include
+	// the timestamp, so entries at different instants can never
+	// collide. The window maps stay as small as the widest instant
+	// instead of growing to the full consolidated size.
+	seen := make(map[replicaKey]bool)
+	byEvent := make(map[eventKey]int) // -> index into res.Entries
+	var curUnix int64
+	window := false
 
-	for {
-		best := -1
-		for i, c := range cursors {
-			if c.pos >= len(c.entries) {
-				continue
-			}
-			if best == -1 || c.entries[c.pos].Time.Before(cursors[best].entries[cursors[best].pos].Time) {
-				best = i
-			}
+	for h.Len() > 0 {
+		c := h[0]
+		e := c.entries[c.pos]
+		c.pos++
+		if c.pos >= len(c.entries) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
 		}
-		if best == -1 {
-			break
-		}
-		e := cursors[best].entries[cursors[best].pos]
-		cursors[best].pos++
 
-		key := e.Key()
-		if seen[key] {
+		unix := e.Time.UnixNano()
+		if !window || unix != curUnix {
+			window = true
+			curUnix = unix
+			clear(seen)
+			clear(byEvent)
+		}
+
+		rk := replicaKey{
+			op:   e.Op,
+			user: vocab.Norm(e.User), data: vocab.Norm(e.Data),
+			purpose: vocab.Norm(e.Purpose), authorized: vocab.Norm(e.Authorized),
+			status: e.Status,
+		}
+		if seen[rk] {
 			res.Duplicates++
 			continue
 		}
-		seen[key] = true
+		seen[rk] = true
 
-		evKey := fmt.Sprintf("%d|%s|%s|%s", e.Time.UnixNano(), e.User, e.Data, e.Purpose)
-		if prev, ok := byEvent[evKey]; ok && (prev.Op != e.Op || prev.Status != e.Status) {
-			res.Conflicts = append(res.Conflicts, Conflict{A: prev, B: e})
+		ek := eventKey{user: e.User, data: e.Data, purpose: e.Purpose}
+		if i, ok := byEvent[ek]; ok && (res.Entries[i].Op != e.Op || res.Entries[i].Status != e.Status) {
+			res.Conflicts = append(res.Conflicts, Conflict{A: res.Entries[i], B: e})
 		} else {
-			byEvent[evKey] = e
+			byEvent[ek] = len(res.Entries)
 		}
 		res.Entries = append(res.Entries, e)
 	}

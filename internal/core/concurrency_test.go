@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/scenario"
+)
+
+// TestConcurrentCoverageAndMutation runs ComputeCoverage/EntryCoverage
+// readers against concurrent Add/Remove mutations of the policy store
+// they read — the live shape of a refinement session scoring coverage
+// while rules are adopted. Run with -race.
+func TestConcurrentCoverageAndMutation(t *testing.T) {
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	al := scenario.Figure3AuditPolicy()
+	entries := scenario.Table1()
+
+	const workers = 6
+	const rounds = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			extra := policy.MustRule(
+				policy.T("data", "referral"),
+				policy.T("purpose", "billing"),
+				policy.T("authorized", fmt.Sprintf("auditor%d", w)),
+			)
+			for i := 0; i < rounds; i++ {
+				switch i % 4 {
+				case 0:
+					ps.Add(extra)
+				case 1:
+					if _, err := ComputeCoverage(ps, al, v); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, err := EntryCoverage(ps, entries, v); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					ps.Remove(extra)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Whatever interleaving happened, a quiescent recomputation must
+	// still produce the paper's Figure 3 value once the extra rules
+	// are gone.
+	for w := 0; w < workers; w++ {
+		ps.Remove(policy.MustRule(
+			policy.T("data", "referral"),
+			policy.T("purpose", "billing"),
+			policy.T("authorized", fmt.Sprintf("auditor%d", w)),
+		))
+	}
+	got, err := ComputeCoverage(ps, al, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, scenario.Figure3Coverage) {
+		t.Fatalf("coverage after concurrent churn = %v, want %v", got, scenario.Figure3Coverage)
+	}
+}

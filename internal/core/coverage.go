@@ -8,23 +8,28 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/audit"
 	"repro/internal/policy"
 	"repro/internal/vocab"
 )
 
-// ComputeCoverage is Algorithm 1 verbatim: the coverage of Px in
-// relation to Py is #(Range_Px ∩ Range_Py) / #Range_Py (Definition 9).
-// Coverage of anything against an empty policy is defined as 1 (there
-// is nothing to cover).
+// ComputeCoverage is Algorithm 1: the coverage of Px in relation to
+// Py is #(Range_Px ∩ Range_Py) / #Range_Py (Definition 9). Coverage
+// of anything against an empty policy is defined as 1 (there is
+// nothing to cover). Ranges come from the shared policy.RangeCache —
+// repeated coverage runs over an unchanged store reuse the expansion
+// — and the intersection is counted by membership against the smaller
+// range instead of materialized.
 func ComputeCoverage(px, py *policy.Policy, v *vocab.Vocabulary) (float64, error) {
-	rx, err := policy.NewRange(px, v, 0) // getRange(Px, V)
+	rx, err := policy.Shared.Range(px, v, 0) // getRange(Px, V)
 	if err != nil {
 		return 0, fmt.Errorf("core: range of %s: %w", px.Name, err)
 	}
-	ry, err := policy.NewRange(py, v, 0) // getRange(Py, V)
+	ry, err := policy.Shared.Range(py, v, 0) // getRange(Py, V)
 	if err != nil {
 		return 0, fmt.Errorf("core: range of %s: %w", py.Name, err)
 	}
@@ -32,8 +37,7 @@ func ComputeCoverage(px, py *policy.Policy, v *vocab.Vocabulary) (float64, error
 	if my == 0 {
 		return 1, nil
 	}
-	overlap := rx.Intersect(ry)
-	return float64(len(overlap)) / float64(my), nil
+	return float64(rx.IntersectCount(ry)) / float64(my), nil
 }
 
 // CompleteCoverage is Definition 10: Px completely covers Py iff
@@ -82,11 +86,11 @@ type Report struct {
 // Coverage computes the coverage of px in relation to py and explains
 // every gap.
 func Coverage(px, py *policy.Policy, v *vocab.Vocabulary) (*Report, error) {
-	rx, err := policy.NewRange(px, v, 0)
+	rx, err := policy.Shared.Range(px, v, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: range of %s: %w", px.Name, err)
 	}
-	ry, err := policy.NewRange(py, v, 0)
+	ry, err := policy.Shared.Range(py, v, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: range of %s: %w", py.Name, err)
 	}
@@ -151,19 +155,44 @@ type EntryReport struct {
 	Uncovered []audit.Entry // rows not covered by the policy store
 }
 
+// entryChunkMin is the smallest per-worker chunk worth a goroutine in
+// EntryCoverage; below it the fan-out overhead beats the win.
+const entryChunkMin = 1024
+
 // EntryCoverage computes row-level coverage of the policy store over
-// an audit snapshot.
+// an audit snapshot. Rows are tested by canonical key against the
+// cached range; large snapshots are chunked across GOMAXPROCS workers
+// and the per-chunk results merged in chunk order, so Uncovered keeps
+// the snapshot's row order regardless of parallelism.
 func EntryCoverage(ps *policy.Policy, entries []audit.Entry, v *vocab.Vocabulary) (*EntryReport, error) {
-	rg, err := policy.NewRange(ps, v, 0)
+	rg, err := policy.Shared.Range(ps, v, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: range of %s: %w", ps.Name, err)
 	}
 	rep := &EntryReport{Total: len(entries)}
-	for _, e := range entries {
-		if rg.Contains(e.Rule()) {
-			rep.Covered++
-		} else {
-			rep.Uncovered = append(rep.Uncovered, e)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(entries)/entryChunkMin {
+		workers = len(entries) / entryChunkMin
+	}
+	if workers <= 1 {
+		entryCoverChunk(rg, entries, &rep.Covered, &rep.Uncovered)
+	} else {
+		covered := make([]int, workers)
+		uncovered := make([][]audit.Entry, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(entries) / workers
+			hi := (w + 1) * len(entries) / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				entryCoverChunk(rg, entries[lo:hi], &covered[w], &uncovered[w])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			rep.Covered += covered[w]
+			rep.Uncovered = append(rep.Uncovered, uncovered[w]...)
 		}
 	}
 	if rep.Total == 0 {
@@ -172,4 +201,16 @@ func EntryCoverage(ps *policy.Policy, entries []audit.Entry, v *vocab.Vocabulary
 		rep.Coverage = float64(rep.Covered) / float64(rep.Total)
 	}
 	return rep, nil
+}
+
+// entryCoverChunk counts the covered entries of one chunk, collecting
+// the uncovered rows in order.
+func entryCoverChunk(rg *policy.Range, entries []audit.Entry, covered *int, uncovered *[]audit.Entry) {
+	for _, e := range entries {
+		if rg.ContainsKey(e.RuleKey()) {
+			*covered++
+		} else {
+			*uncovered = append(*uncovered, e)
+		}
+	}
 }

@@ -128,7 +128,7 @@ func ExtractPatterns(practice []audit.Entry, opts Options) ([]Pattern, error) {
 // the policy store, returning the complement of the pattern range
 // with respect to Range(P_PS).
 func Prune(patterns []Pattern, ps *policy.Policy, v *vocab.Vocabulary) ([]Pattern, error) {
-	rg, err := policy.NewRange(ps, v, 0)
+	rg, err := policy.Shared.Range(ps, v, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: range of %s: %w", ps.Name, err)
 	}

@@ -14,7 +14,6 @@ package hdb
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -70,10 +69,6 @@ type Enforcer struct {
 	mu       sync.RWMutex
 	mappings map[string]*TableMapping // lower(table) -> mapping
 	strict   bool                     // reject out-of-vocabulary purposes and roles
-
-	rangeMu    sync.Mutex
-	rangeFP    uint64
-	rangeCache *policy.Range
 }
 
 // New builds an enforcer. The policy store is held by reference:
@@ -193,33 +188,22 @@ func (e *Enforcer) mapping(table string) (*TableMapping, error) {
 	return nil, fmt.Errorf("hdb: table %q is not registered for enforcement", table)
 }
 
-// policyRange returns the (cached) ground range of the policy store,
-// recomputed when the store's rule set changes.
+// policyRange returns the ground range of the policy store from the
+// shared range cache. The store's version counter makes the staleness
+// check O(1): no per-query fingerprint of the rule set.
 func (e *Enforcer) policyRange() (*policy.Range, error) {
-	h := fnv.New64a()
-	for _, r := range e.ps.Rules() {
-		_, _ = h.Write([]byte(r.Key()))
-		_, _ = h.Write([]byte{0})
-	}
-	fp := h.Sum64()
-	e.rangeMu.Lock()
-	defer e.rangeMu.Unlock()
-	if e.rangeCache != nil && e.rangeFP == fp {
-		return e.rangeCache, nil
-	}
-	rg, err := policy.NewRange(e.ps, e.v, 0)
-	if err != nil {
-		return nil, err
-	}
-	e.rangeCache = rg
-	e.rangeFP = fp
-	return rg, nil
+	return policy.Shared.Range(e.ps, e.v, 0)
 }
 
 // allowed checks (data category, purpose, role) against the policy
-// store range. Composite runtime values are handled by requiring all
-// their ground rules to be present.
+// store range. Ground triples — the overwhelmingly common case at
+// enforcement time — are tested by canonical key without constructing
+// a rule; composite runtime values fall back to requiring all their
+// ground rules to be present.
 func (e *Enforcer) allowed(rg *policy.Range, category, purpose, role string) bool {
+	if e.v.IsGround("data", category) && e.v.IsGround("purpose", purpose) && e.v.IsGround("authorized", role) {
+		return rg.ContainsKey(policy.TripleKey(category, purpose, role))
+	}
 	rule := policy.MustRule(
 		policy.T("data", category),
 		policy.T("purpose", purpose),

@@ -153,6 +153,8 @@ func (p *Policy) UnmarshalJSON(data []byte) error {
 	p.mu.Lock()
 	p.Name = np.Name
 	p.rules = append(p.rules[:0:0], np.rules...)
+	p.index = np.index
+	p.version++
 	p.mu.Unlock()
 	return nil
 }

@@ -1,0 +1,264 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/vocab"
+)
+
+// TestPolicyIndexLargeStore exercises the key index over a store large
+// enough that a linear-scan regression would be obvious: 10k rules
+// built through FromRules, then interleaved Remove/Add, checking that
+// the index, the rule slice and the version counter stay consistent.
+func TestPolicyIndexLargeStore(t *testing.T) {
+	const n = 10_000
+	rules := make([]Rule, n)
+	for i := range rules {
+		rules[i] = MustRule(
+			T("data", fmt.Sprintf("d%d", i)),
+			T("purpose", fmt.Sprintf("p%d", i%97)),
+			T("authorized", fmt.Sprintf("a%d", i%13)),
+		)
+	}
+	// FromRules with every rule duplicated once: the duplicates must
+	// all be dropped by the index, not appended.
+	p := FromRules("PS", append(append([]Rule(nil), rules...), rules...)...)
+	if p.Len() != n {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+	v0 := p.Version()
+	if v0 == 0 {
+		t.Fatal("version did not advance on construction")
+	}
+
+	for _, r := range rules {
+		if !p.Contains(r) {
+			t.Fatalf("missing rule %s", r)
+		}
+	}
+
+	// Remove every third rule; swap-delete must keep the index in step
+	// with the moved rules.
+	removed := make(map[string]bool)
+	for i := 0; i < n; i += 3 {
+		if !p.Remove(rules[i]) {
+			t.Fatalf("Remove(%s) = false", rules[i])
+		}
+		removed[rules[i].Key()] = true
+	}
+	if p.Remove(rules[0]) {
+		t.Fatal("second Remove of the same rule succeeded")
+	}
+	if got, want := p.Len(), n-len(removed); got != want {
+		t.Fatalf("Len after removals = %d, want %d", got, want)
+	}
+	if p.Version() <= v0 {
+		t.Fatalf("version %d did not advance past %d", p.Version(), v0)
+	}
+
+	// The surviving rule set must agree between Contains (index) and
+	// Rules (slice), with no duplicates.
+	seen := make(map[string]bool)
+	for _, r := range p.Rules() {
+		k := r.Key()
+		if removed[k] {
+			t.Fatalf("removed rule %s still present", r)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate rule %s in Rules()", r)
+		}
+		seen[k] = true
+		if !p.Contains(r) {
+			t.Fatalf("Rules() has %s but Contains is false", r)
+		}
+	}
+	for _, r := range rules {
+		if removed[r.Key()] {
+			if p.Contains(r) {
+				t.Fatalf("Contains(%s) true after Remove", r)
+			}
+		} else if !seen[r.Key()] {
+			t.Fatalf("surviving rule %s missing from Rules()", r)
+		}
+	}
+
+	// Removed rules can be re-added.
+	for i := 0; i < n; i += 3 {
+		if !p.Add(rules[i]) {
+			t.Fatalf("re-Add(%s) = false", rules[i])
+		}
+	}
+	if p.Len() != n {
+		t.Fatalf("Len after re-adds = %d, want %d", p.Len(), n)
+	}
+}
+
+// TestSetRulesRebuildsIndex checks that SetRules replaces both the
+// rule slice and the index wholesale.
+func TestSetRulesRebuildsIndex(t *testing.T) {
+	p := FromRules("PS",
+		MustRule(T("data", "old1")),
+		MustRule(T("data", "old2")),
+	)
+	next := []Rule{
+		MustRule(T("data", "new1")),
+		MustRule(T("data", "new2")),
+		MustRule(T("data", "new1")), // duplicate
+	}
+	p.SetRules(next)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	if p.Contains(MustRule(T("data", "old1"))) {
+		t.Fatal("index still holds a replaced rule")
+	}
+	if !p.Contains(MustRule(T("data", "new2"))) {
+		t.Fatal("index missing a new rule")
+	}
+}
+
+// xorshift is a tiny deterministic generator so the property test can
+// randomize vocabularies without pulling a rand dependency into the
+// package under analysis.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	*x ^= *x << 13
+	*x ^= *x >> 7
+	*x ^= *x << 17
+	return uint64(*x)
+}
+
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// randomVocabulary builds a three-attribute vocabulary with randomized
+// branching so the parallel/sequential comparison sees many shapes.
+func randomVocabulary(rng *xorshift) (*vocab.Vocabulary, map[string][]string) {
+	v := vocab.New()
+	values := make(map[string][]string)
+	for _, attr := range []string{"data", "purpose", "authorized"} {
+		h := v.MustAttribute(attr)
+		root := attr + "-all"
+		h.MustAdd("", root)
+		values[attr] = append(values[attr], root)
+		for i := 0; i < 2+rng.intn(3); i++ {
+			mid := fmt.Sprintf("%s-m%d", attr, i)
+			h.MustAdd(root, mid)
+			values[attr] = append(values[attr], mid)
+			for j := 0; j < 1+rng.intn(4); j++ {
+				leaf := fmt.Sprintf("%s-m%d-l%d", attr, i, j)
+				h.MustAdd(mid, leaf)
+				values[attr] = append(values[attr], leaf)
+			}
+		}
+	}
+	return v, values
+}
+
+// TestParallelRangeMatchesSequential is the determinism property test:
+// for randomized vocabularies and rule sets, the parallel range
+// expansion must produce the same ground rules in the same order —
+// and the same ErrRangeTooLarge decision — as the sequential one.
+func TestParallelRangeMatchesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		rng := xorshift(seed * 0x9e3779b97f4a7c15)
+		v, values := randomVocabulary(&rng)
+
+		nRules := 1 + rng.intn(8)
+		rules := make([]Rule, 0, nRules)
+		for i := 0; i < nRules; i++ {
+			var terms []Term
+			for _, attr := range []string{"data", "purpose", "authorized"} {
+				if rng.intn(4) == 0 && len(terms) > 0 {
+					continue // drop an attribute sometimes
+				}
+				vs := values[attr]
+				terms = append(terms, T(attr, vs[rng.intn(len(vs))]))
+			}
+			rules = append(rules, MustRule(terms...))
+		}
+
+		for _, limit := range []int{DefaultRangeLimit, 1 + rng.intn(40)} {
+			seq, seqErr := newRangeSequential(rules, v, limit)
+			par, parErr := newRangeParallel(rules, v, limit, 4)
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("seed %d limit %d: error mismatch: seq=%v par=%v", seed, limit, seqErr, parErr)
+			}
+			if seqErr != nil {
+				if !errors.Is(seqErr, ErrRangeTooLarge) || !errors.Is(parErr, ErrRangeTooLarge) {
+					t.Fatalf("seed %d limit %d: unexpected errors seq=%v par=%v", seed, limit, seqErr, parErr)
+				}
+				continue
+			}
+			if seq.Len() != par.Len() {
+				t.Fatalf("seed %d limit %d: Len %d != %d", seed, limit, seq.Len(), par.Len())
+			}
+			// Same derivation order...
+			for i, r := range seq.Rules() {
+				if pr := par.Rules()[i]; pr.Key() != r.Key() {
+					t.Fatalf("seed %d limit %d: rule %d order mismatch: %s != %s", seed, limit, i, r, pr)
+				}
+			}
+			// ...and same key set.
+			sk, pk := seq.Keys(), par.Keys()
+			for i := range sk {
+				if sk[i] != pk[i] {
+					t.Fatalf("seed %d limit %d: key %d mismatch: %q != %q", seed, limit, i, sk[i], pk[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentPolicyMutationAndRange hammers the policy store and
+// the shared range cache from many goroutines. Run with -race.
+func TestConcurrentPolicyMutationAndRange(t *testing.T) {
+	v := vocab.Sample()
+	p := New("PS")
+	base := MustRule(T("data", "referral"), T("purpose", "registration"), T("authorized", "nurse"))
+	p.Add(base)
+
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := MustRule(
+				T("data", "prescription"),
+				T("purpose", "billing"),
+				T("authorized", fmt.Sprintf("role%d", w)),
+			)
+			for i := 0; i < rounds; i++ {
+				switch i % 4 {
+				case 0:
+					p.Add(r)
+				case 1:
+					p.Contains(r)
+					p.Version()
+				case 2:
+					if _, err := Shared.Range(p, v, 0); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					p.Remove(r)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The cache must converge to the final store contents.
+	rg, err := Shared.Range(p, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.Contains(base) {
+		t.Fatal("final range lost the base rule")
+	}
+}

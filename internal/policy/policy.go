@@ -19,6 +19,12 @@ import (
 type Term struct {
 	Attr  string `json:"attr"`
 	Value string `json:"value"`
+
+	// key caches the canonical comparison key. It is set only when the
+	// term has been normalized into a Rule (or derived by the grounding
+	// fast path), so literal-constructed Terms remain comparable with
+	// ==/DeepEqual against T() and struct literals.
+	key string
 }
 
 // T is shorthand for constructing a Term.
@@ -27,8 +33,15 @@ func T(attr, value string) Term { return Term{Attr: attr, Value: value} }
 // String renders the term in the paper's notation.
 func (t Term) String() string { return "(" + t.Attr + ", " + t.Value + ")" }
 
-// Key returns the normalized comparison key of the term.
-func (t Term) Key() string { return vocab.Norm(t.Attr) + "=" + vocab.Norm(t.Value) }
+// Key returns the normalized comparison key of the term. Terms held
+// inside a Rule carry the key precomputed at construction; the
+// computation only runs for free-standing terms.
+func (t Term) Key() string {
+	if t.key != "" {
+		return t.key
+	}
+	return vocab.Norm(t.Attr) + "=" + vocab.Norm(t.Value)
+}
 
 // IsGround reports whether the term is ground with respect to v
 // (Definition 2).
@@ -59,6 +72,11 @@ func (t Term) Equivalent(u Term, v *vocab.Vocabulary) bool {
 // duplicates removed. The paper's cardinality #R is Len().
 type Rule struct {
 	terms []Term
+	// key caches the canonical comparison key (Definition 6 identity
+	// for ground rules), computed once at construction so that every
+	// downstream comparison — Policy indexing, Range dedup, coverage
+	// counting — is a plain string compare.
+	key string
 }
 
 // NewRule builds a normalized rule from terms. It is an error to
@@ -69,34 +87,45 @@ func NewRule(terms ...Term) (Rule, error) {
 	if len(terms) == 0 {
 		return Rule{}, fmt.Errorf("policy: a rule requires at least one term")
 	}
-	byAttr := make(map[string]Term, len(terms))
+	type keyed struct {
+		t      Term
+		na, nv string
+	}
+	byAttr := make(map[string]keyed, len(terms))
 	for _, t := range terms {
-		if vocab.Norm(t.Attr) == "" {
+		na, nv := vocab.Norm(t.Attr), vocab.Norm(t.Value)
+		if na == "" {
 			return Rule{}, fmt.Errorf("policy: term %v has an empty attribute", t)
 		}
-		if vocab.Norm(t.Value) == "" {
+		if nv == "" {
 			return Rule{}, fmt.Errorf("policy: term %v has an empty value", t)
 		}
-		key := vocab.Norm(t.Attr)
-		if prev, ok := byAttr[key]; ok {
-			if prev.Key() != t.Key() {
-				return Rule{}, fmt.Errorf("policy: conflicting terms %v and %v for attribute %q", prev, t, t.Attr)
+		if prev, ok := byAttr[na]; ok {
+			if prev.nv != nv {
+				return Rule{}, fmt.Errorf("policy: conflicting terms %v and %v for attribute %q", prev.t, t, t.Attr)
 			}
 			continue
 		}
-		byAttr[key] = t
+		t.key = na + "=" + nv
+		byAttr[na] = keyed{t: t, na: na, nv: nv}
 	}
-	norm := make([]Term, 0, len(byAttr))
-	for _, t := range byAttr {
-		norm = append(norm, t)
+	norm := make([]keyed, 0, len(byAttr))
+	for _, k := range byAttr {
+		norm = append(norm, k)
 	}
 	sort.Slice(norm, func(i, j int) bool {
-		if a, b := vocab.Norm(norm[i].Attr), vocab.Norm(norm[j].Attr); a != b {
-			return a < b
+		if norm[i].na != norm[j].na {
+			return norm[i].na < norm[j].na
 		}
-		return vocab.Norm(norm[i].Value) < vocab.Norm(norm[j].Value)
+		return norm[i].nv < norm[j].nv
 	})
-	return Rule{terms: norm}, nil
+	out := make([]Term, len(norm))
+	keys := make([]string, len(norm))
+	for i, k := range norm {
+		out[i] = k.t
+		keys[i] = k.t.key
+	}
+	return Rule{terms: out, key: strings.Join(keys, "&")}, nil
 }
 
 // MustRule is NewRule that panics on error; for static data.
@@ -141,13 +170,37 @@ func (r Rule) String() string {
 }
 
 // Key returns a canonical comparison key. Two rules have equal keys
-// iff they contain exactly the same normalized terms.
+// iff they contain exactly the same normalized terms. The key is
+// computed once at construction; Key only reads the cached value.
 func (r Rule) Key() string {
+	if r.key != "" || len(r.terms) == 0 {
+		return r.key
+	}
+	// Fallback for rules built outside the constructors (should not
+	// happen; kept for safety).
 	parts := make([]string, len(r.terms))
 	for i, t := range r.terms {
 		parts[i] = t.Key()
 	}
 	return strings.Join(parts, "&")
+}
+
+// TripleKey returns the canonical key of the ground rule
+// {(data, d) ∧ (purpose, p) ∧ (authorized, a)} — the policy
+// projection of an audit row or an enforcement check — without
+// constructing the rule. Normalized attribute order is
+// authorized < data < purpose, matching NewRule's sort.
+func TripleKey(data, purpose, authorized string) string {
+	a, d, p := vocab.Norm(authorized), vocab.Norm(data), vocab.Norm(purpose)
+	var sb strings.Builder
+	sb.Grow(len("authorized=&data=&purpose=") + len(a) + len(d) + len(p))
+	sb.WriteString("authorized=")
+	sb.WriteString(a)
+	sb.WriteString("&data=")
+	sb.WriteString(d)
+	sb.WriteString("&purpose=")
+	sb.WriteString(p)
+	return sb.String()
 }
 
 // IsGround reports whether every term of the rule is ground under v.
@@ -168,12 +221,14 @@ func (r Rule) Project(attrs ...string) Rule {
 		keep[vocab.Norm(a)] = true
 	}
 	var terms []Term
+	var keys []string
 	for _, t := range r.terms {
 		if keep[vocab.Norm(t.Attr)] {
 			terms = append(terms, t)
+			keys = append(keys, t.Key())
 		}
 	}
-	return Rule{terms: terms}
+	return Rule{terms: terms, key: strings.Join(keys, "&")}
 }
 
 // Groundings enumerates the ground rules derivable from r under v:
@@ -182,24 +237,66 @@ func (r Rule) Project(attrs ...string) Rule {
 // rules produced; the bool result reports whether the enumeration was
 // truncated.
 func (r Rule) Groundings(v *vocab.Vocabulary, limit int) ([]Rule, bool) {
-	sets := make([][]Term, len(r.terms))
+	return groundProduct(keyedSets(r.terms, v, nil), limit)
+}
+
+// keyedSets computes the keyed ground-term set of each term, sharing
+// results across identical terms through memo (may be nil). The memo
+// lets a range expansion over many rules derive each distinct
+// composite term once.
+func keyedSets(terms []Term, v *vocab.Vocabulary, memo map[string][]Term) [][]Term {
+	sets := make([][]Term, len(terms))
+	for i, t := range terms {
+		key := t.Key()
+		if g, ok := memo[key]; ok {
+			sets[i] = g
+			continue
+		}
+		g := t.groundTermsKeyed(v)
+		if memo != nil {
+			memo[key] = g
+		}
+		sets[i] = g
+	}
+	return sets
+}
+
+// groundProduct enumerates the cartesian product of the keyed ground
+// sets — the grounding fast path. The enumeration order (last set
+// varies fastest) and the truncation semantics match the original
+// per-rule expansion exactly.
+func groundProduct(sets [][]Term, limit int) ([]Rule, bool) {
+	k := len(sets)
 	total := 1
-	for i, t := range r.terms {
-		sets[i] = t.GroundTerms(v)
-		total *= len(sets[i])
+	for _, s := range sets {
+		total *= len(s)
 	}
 	if limit > 0 && total > limit {
 		total = limit
 	}
 	out := make([]Rule, 0, total)
-	idx := make([]int, len(sets))
+	// One backing array holds the terms of every ground rule, and one
+	// append-only builder holds every rule key (each key is a slice of
+	// the accumulated string — appends never mutate bytes already
+	// written, so the slices stay valid as the buffer grows): the
+	// expansion is the hot path of Range (Definition 8) and per-rule
+	// allocations dominate its cost.
+	flat := make([]Term, total*k)
+	idx := make([]int, k)
 	truncated := false
+	var sb strings.Builder
 	for {
-		terms := make([]Term, len(sets))
+		base := len(out) * k
+		row := flat[base : base+k : base+k]
+		start := sb.Len()
 		for i, j := range idx {
-			terms[i] = sets[i][j]
+			row[i] = sets[i][j]
+			if i > 0 {
+				sb.WriteByte('&')
+			}
+			sb.WriteString(row[i].key)
 		}
-		out = append(out, Rule{terms: terms})
+		out = append(out, Rule{terms: row, key: sb.String()[start:]})
 		if limit > 0 && len(out) >= limit {
 			// Check whether anything remains.
 			for i := len(idx) - 1; i >= 0; i-- {
@@ -223,6 +320,26 @@ func (r Rule) Groundings(v *vocab.Vocabulary, limit int) ([]Rule, bool) {
 		}
 	}
 	return out, truncated
+}
+
+// groundTermsKeyed is GroundTerms with the canonical term keys
+// precomputed, so grounding a composite rule performs one Norm per
+// distinct ground value instead of one per derived rule.
+func (t Term) groundTermsKeyed(v *vocab.Vocabulary) []Term {
+	values := v.GroundSet(t.Attr, t.Value)
+	na := vocab.Norm(t.Attr)
+	out := make([]Term, len(values))
+	// All keys are slices of one append-only builder (see
+	// groundProduct for why that is safe).
+	var sb strings.Builder
+	for i, val := range values {
+		start := sb.Len()
+		sb.WriteString(na)
+		sb.WriteByte('=')
+		sb.WriteString(vocab.Norm(val))
+		out[i] = Term{Attr: t.Attr, Value: val, key: sb.String()[start:]}
+	}
+	return out
 }
 
 // Equivalent reports whether r ≈ u under v (Definition 6): the rules

@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"sync"
+
+	"repro/internal/vocab"
+)
+
+// RangeCache memoizes ground-range expansions (Definition 8) keyed on
+// the identity of the policy and vocabulary plus their mutation
+// counters. Every consumer of the range algebra — Algorithm 1
+// coverage, Algorithm 6 pruning, the Active Enforcement middleware —
+// needs Range_P of the same slowly-changing policy store; sharing one
+// cache means the expansion runs once per policy version instead of
+// once per query.
+//
+// A cached *Range is immutable after construction and may be used
+// concurrently by any number of readers.
+type RangeCache struct {
+	mu      sync.Mutex
+	entries map[rangeCacheKey]rangeCacheEntry
+}
+
+// rangeCacheMax bounds the cache; short-lived policies (refinement
+// scratch stores, test fixtures) would otherwise pin their ranges
+// forever. Exceeding the bound drops the whole map: the cache exists
+// for the steady state of a few long-lived stores, where it never
+// trips.
+const rangeCacheMax = 256
+
+type rangeCacheKey struct {
+	p     *Policy
+	v     *vocab.Vocabulary
+	limit int
+}
+
+type rangeCacheEntry struct {
+	pver uint64
+	vgen uint64
+	rg   *Range
+}
+
+// NewRangeCache returns an empty cache.
+func NewRangeCache() *RangeCache {
+	return &RangeCache{entries: make(map[rangeCacheKey]rangeCacheEntry)}
+}
+
+// Shared is the process-wide range cache used by the coverage
+// algorithms and the enforcer.
+var Shared = NewRangeCache()
+
+// Range returns the ground range of p under v, recomputing only when
+// the policy's version or the vocabulary's generation has moved since
+// the last call. Errors are not cached.
+func (c *RangeCache) Range(p *Policy, v *vocab.Vocabulary, limit int) (*Range, error) {
+	if limit <= 0 {
+		limit = DefaultRangeLimit
+	}
+	key := rangeCacheKey{p: p, v: v, limit: limit}
+	pver := p.Version()
+	vgen := v.Generation()
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && e.pver == pver && e.vgen == vgen {
+		c.mu.Unlock()
+		return e.rg, nil
+	}
+	c.mu.Unlock()
+
+	// Expand outside the cache lock: expansion can be long and other
+	// policies' lookups must not stall behind it.
+	rg, err := NewRange(p, v, limit)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if len(c.entries) >= rangeCacheMax {
+		c.entries = make(map[rangeCacheKey]rangeCacheEntry)
+	}
+	// Only install if the inputs did not move while expanding; a
+	// racing mutation would make the entry stale at birth.
+	if p.Version() == pver && v.Generation() == vgen {
+		c.entries[key] = rangeCacheEntry{pver: pver, vgen: vgen, rg: rg}
+	}
+	c.mu.Unlock()
+	return rg, nil
+}
+
+// Invalidate drops any cached range for the given policy, across all
+// vocabularies and limits. Version checks make explicit invalidation
+// unnecessary for correctness; this is for callers that know a policy
+// is being discarded and want its memory back immediately.
+func (c *RangeCache) Invalidate(p *Policy) {
+	c.mu.Lock()
+	for k := range c.entries {
+		if k.p == p {
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Len reports how many ranges are currently cached.
+func (c *RangeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

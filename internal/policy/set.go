@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -18,6 +19,14 @@ type Policy struct {
 
 	mu    sync.RWMutex
 	rules []Rule
+	// index maps canonical rule keys to their position in rules,
+	// making Add/Contains/Remove O(1) instead of a linear scan.
+	index map[string]int
+	// version counts mutations. Every change to the rule set bumps it
+	// under mu, so caches (the enforcer's policy range, RangeCache)
+	// detect staleness with one integer compare instead of
+	// re-fingerprinting the store.
+	version uint64
 }
 
 // New returns an empty policy with the given name.
@@ -45,31 +54,44 @@ func (p *Policy) Add(r Rule) bool {
 
 func (p *Policy) addLocked(r Rule) bool {
 	key := r.Key()
-	for _, e := range p.rules {
-		if e.Key() == key {
-			return false
-		}
+	if _, ok := p.index[key]; ok {
+		return false
 	}
+	if p.index == nil {
+		p.index = make(map[string]int)
+	}
+	p.index[key] = len(p.rules)
 	p.rules = append(p.rules, r)
+	p.version++
 	return true
 }
 
 // Remove deletes the rule with the same canonical key, reporting
-// whether a rule was removed.
+// whether a rule was removed. Removal swaps the last rule into the
+// vacated slot (O(1)); see Rules for the ordering consequence.
 func (p *Policy) Remove(r Rule) bool {
 	key := r.Key()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for i, e := range p.rules {
-		if e.Key() == key {
-			p.rules = append(p.rules[:i:i], p.rules[i+1:]...)
-			return true
-		}
+	i, ok := p.index[key]
+	if !ok {
+		return false
 	}
-	return false
+	last := len(p.rules) - 1
+	if i != last {
+		p.rules[i] = p.rules[last]
+		p.index[p.rules[i].Key()] = i
+	}
+	p.rules[last] = Rule{}
+	p.rules = p.rules[:last]
+	delete(p.index, key)
+	p.version++
+	return true
 }
 
-// Rules returns a copy of the policy's rules in insertion order.
+// Rules returns a copy of the policy's rules. The order is insertion
+// order, except that Remove moves the last rule into the removed
+// rule's slot.
 func (p *Policy) Rules() []Rule {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -85,11 +107,22 @@ func (p *Policy) SetRules(rules []Rule) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.rules = p.rules[:0:0]
+	p.index = make(map[string]int, len(rules))
+	p.version++
 	for _, r := range rules {
 		if !r.IsZero() {
 			p.addLocked(r)
 		}
 	}
+}
+
+// Version returns the mutation counter: it increases on every change
+// to the rule set, so a cache can validate a derived artifact (the
+// policy's ground range) with one integer compare.
+func (p *Policy) Version() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.version
 }
 
 // Len is the cardinality #P of the policy.
@@ -104,12 +137,8 @@ func (p *Policy) Contains(r Rule) bool {
 	key := r.Key()
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	for _, e := range p.rules {
-		if e.Key() == key {
-			return true
-		}
-	}
-	return false
+	_, ok := p.index[key]
+	return ok
 }
 
 // IsGround reports whether every rule is ground under v.
@@ -130,6 +159,10 @@ func (p *Policy) Clone() *Policy {
 	defer p.mu.RUnlock()
 	out := New(p.Name)
 	out.rules = append([]Rule(nil), p.rules...)
+	out.index = make(map[string]int, len(p.index))
+	for k, i := range p.index {
+		out.index[k] = i
+	}
 	return out
 }
 
@@ -161,17 +194,111 @@ var ErrRangeTooLarge = fmt.Errorf("policy: range expansion exceeds limit")
 
 // NewRange computes Range_P under v (the paper's getRange(P, V)).
 // limit ≤ 0 applies DefaultRangeLimit.
+//
+// When the policy holds several rules and GOMAXPROCS > 1, the
+// groundings of each rule are expanded on a worker pool and merged
+// into the dedup map in rule order, so the result — rule order, key
+// set, and the ErrRangeTooLarge decision — is identical to the
+// sequential expansion.
 func NewRange(p *Policy, v *vocab.Vocabulary, limit int) (*Range, error) {
 	if limit <= 0 {
 		limit = DefaultRangeLimit
 	}
-	rg := &Range{keys: make(map[string]int)}
-	for _, r := range p.Rules() {
-		grounds, truncated := r.Groundings(v, limit-len(rg.rules)+1)
+	rules := p.Rules()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rules) {
+		workers = len(rules)
+	}
+	if workers <= 1 {
+		return newRangeSequential(rules, v, limit)
+	}
+	return newRangeParallel(rules, v, limit, workers)
+}
+
+// expandSets derives the keyed ground set of every rule's terms up
+// front, sharing identical composite terms across rules via a memo,
+// and estimates the total grounding count (clamped at limit) so the
+// dedup map can be presized. Running this in the calling goroutine
+// keeps all vocabulary access single-threaded; workers then only
+// enumerate cartesian products.
+func expandSets(rules []Rule, v *vocab.Vocabulary, limit int) ([][][]Term, int) {
+	memo := make(map[string][]Term)
+	sets := make([][][]Term, len(rules))
+	est := 0
+	for i, r := range rules {
+		sets[i] = keyedSets(r.terms, v, memo)
+		n := 1
+		for _, s := range sets[i] {
+			n *= len(s)
+			if n > limit {
+				n = limit
+				break
+			}
+		}
+		est += n
+		if est > limit {
+			est = limit
+		}
+	}
+	return sets, est
+}
+
+func newRangeSequential(rules []Rule, v *vocab.Vocabulary, limit int) (*Range, error) {
+	sets, est := expandSets(rules, v, limit)
+	rg := &Range{keys: make(map[string]int, est), rules: make([]Rule, 0, est)}
+	for i, r := range rules {
+		grounds, truncated := groundProduct(sets[i], limit-len(rg.rules)+1)
 		if truncated || len(rg.rules)+len(grounds) > limit {
 			return nil, fmt.Errorf("%w (limit %d) expanding %s", ErrRangeTooLarge, limit, r)
 		}
 		for _, g := range grounds {
+			rg.add(g)
+		}
+	}
+	return rg, nil
+}
+
+// newRangeParallel fans the per-rule product enumerations out across
+// workers and merges the batches in rule order. Each worker expands
+// with cap limit+1 (it cannot know how much of the budget dedup will
+// consume), and the merge re-derives the exact sequential truncation
+// decision from the batch size and the deduplicated count so far.
+func newRangeParallel(rules []Rule, v *vocab.Vocabulary, limit, workers int) (*Range, error) {
+	sets, est := expandSets(rules, v, limit)
+	type batch struct {
+		grounds   []Rule
+		truncated bool
+	}
+	batches := make([]batch, len(rules))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				g, tr := groundProduct(sets[i], limit+1)
+				batches[i] = batch{grounds: g, truncated: tr}
+			}
+		}()
+	}
+	for i := range rules {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rg := &Range{keys: make(map[string]int, est), rules: make([]Rule, 0, est)}
+	for i, r := range rules {
+		b := batches[i]
+		// Sequential would have expanded with cap limit-#rg+1; it
+		// truncates iff the rule's grounding count exceeds that cap,
+		// and errors on truncation or on exceeding the limit.
+		lim := limit - len(rg.rules) + 1
+		if b.truncated || len(b.grounds) > lim || len(rg.rules)+len(b.grounds) > limit {
+			return nil, fmt.Errorf("%w (limit %d) expanding %s", ErrRangeTooLarge, limit, r)
+		}
+		for _, g := range b.grounds {
 			rg.add(g)
 		}
 	}
@@ -199,6 +326,15 @@ func (rg *Range) Contains(g Rule) bool {
 	return ok
 }
 
+// ContainsKey reports whether a ground rule with the given canonical
+// key is in the range; the key-only form lets callers that already
+// hold a canonical key (audit entries, the enforcer) skip rule
+// construction entirely.
+func (rg *Range) ContainsKey(key string) bool {
+	_, ok := rg.keys[key]
+	return ok
+}
+
 // Intersect returns the rules common to rg and other, using rule
 // identity over canonical keys (ground-rule equivalence, Definition 6).
 func (rg *Range) Intersect(other *Range) []Rule {
@@ -209,6 +345,23 @@ func (rg *Range) Intersect(other *Range) []Rule {
 		}
 	}
 	return out
+}
+
+// IntersectCount returns #(rg ∩ other) without materializing the
+// intersection, counting membership against the smaller side — the
+// quantity Algorithm 1 actually needs.
+func (rg *Range) IntersectCount(other *Range) int {
+	small, big := rg, other
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	n := 0
+	for key := range small.keys {
+		if _, ok := big.keys[key]; ok {
+			n++
+		}
+	}
+	return n
 }
 
 // Complement returns the rules of rg that are not in other — the

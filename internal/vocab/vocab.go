@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Norm canonicalizes an attribute or value for comparison: values in
@@ -48,6 +49,16 @@ type Hierarchy struct {
 	attr  string // display form
 	roots []*Node
 	nodes map[string]*Node // by Norm(value)
+	gen   uint64           // bumped on every Add; see Vocabulary.Generation
+
+	// groundMemo caches GroundSet results by Norm(value). Ground-set
+	// expansion (walk + sort) sits under every Range computation
+	// (Definition 8); the memo makes repeat expansions O(1). Entries
+	// are invalidated wholesale on Add. Only registered values are
+	// memoized, so the memo is bounded by the hierarchy size. A
+	// sync.Map because range expansion reads it from worker
+	// goroutines while the hierarchy itself is quiescent.
+	groundMemo sync.Map // string -> []string
 }
 
 // Attr returns the display form of the attribute name.
@@ -85,6 +96,13 @@ func (h *Hierarchy) Add(parent, value string) error {
 		p.children = append(p.children, n)
 	}
 	h.nodes[key] = n
+	h.gen++
+	// Adding a value can change the ground set of every ancestor (and
+	// turns a former leaf composite); drop the whole memo.
+	h.groundMemo.Range(func(k, _ any) bool {
+		h.groundMemo.Delete(k)
+		return true
+	})
 	return nil
 }
 
@@ -112,11 +130,16 @@ func (h *Hierarchy) IsGround(value string) bool {
 // GroundSet returns the ground values derivable from value — the set
 // RT' of Definition 3 — in deterministic (sorted) order. For a ground
 // value (including values unknown to the vocabulary) it returns the
-// value itself.
+// value itself. Results for registered values are memoized; the
+// returned slice must not be modified.
 func (h *Hierarchy) GroundSet(value string) []string {
-	n := h.Node(value)
+	key := Norm(value)
+	n := h.nodes[key]
 	if n == nil {
 		return []string{strings.TrimSpace(value)}
+	}
+	if cached, ok := h.groundMemo.Load(key); ok {
+		return cached.([]string)
 	}
 	var out []string
 	var walk func(*Node)
@@ -131,6 +154,7 @@ func (h *Hierarchy) GroundSet(value string) []string {
 	}
 	walk(n)
 	sort.Strings(out)
+	h.groundMemo.Store(key, out)
 	return out
 }
 
@@ -293,6 +317,20 @@ func (v *Vocabulary) Equivalent(attr, a, b string) bool {
 		}
 	}
 	return false
+}
+
+// Generation returns a counter that increases on every mutation of
+// the vocabulary — adding an attribute or adding a value to any
+// hierarchy. Derived-artifact caches (policy.RangeCache) use it to
+// detect staleness without walking the forest. The vocabulary has no
+// removal operations, so equal generations imply an unchanged
+// vocabulary.
+func (v *Vocabulary) Generation() uint64 {
+	g := uint64(len(v.attrs))
+	for _, h := range v.attrs {
+		g += h.gen
+	}
+	return g
 }
 
 // Size returns the total number of values across all hierarchies.

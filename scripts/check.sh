@@ -29,7 +29,10 @@ go run ./cmd/prima-vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (concurrency suites: audit, hdb, minidb)"
-go test -race ./internal/audit/ ./internal/hdb/ ./internal/minidb/
+echo "==> go test -race (concurrency suites: audit, core, hdb, minidb, policy)"
+go test -race ./internal/audit/ ./internal/core/ ./internal/hdb/ ./internal/minidb/ ./internal/policy/
+
+echo "==> benchmark smoke (one iteration per benchmark)"
+go test -bench=. -benchtime=1x -run=NONE . > /dev/null
 
 echo "All checks passed."
