@@ -22,11 +22,14 @@ func (f Finding) String() string {
 }
 
 // Analyzer is one table-driven check. Adding a rule is one more
-// struct literal in the analyzers slice.
+// struct literal in the analyzers slice. Per-package analyzers set
+// Run; interprocedural analyzers set RunProgram and see the whole
+// loaded module at once (call graph, markers, every package).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Package) []Finding
+	Name       string
+	Doc        string
+	Run        func(*Package) []Finding
+	RunProgram func(*Program) []Finding
 }
 
 // analyzers is the registry prima-vet runs, in order.
@@ -35,15 +38,71 @@ var analyzers = []*Analyzer{
 	purityAnalyzer,
 	errcheckAnalyzer,
 	codecpairAnalyzer,
+	lockorderAnalyzer,
+	phileakAnalyzer,
+	arenasafeAnalyzer,
 }
 
-// runAnalyzers applies every analyzer to the package and returns the
-// findings sorted by position.
-func runAnalyzers(p *Package) []Finding {
-	var out []Finding
-	for _, a := range analyzers {
-		out = append(out, a.Run(p)...)
+// selectAnalyzers resolves a -run list ("lockorder,phileak") against
+// the registry. Unknown names are an error, never a silent no-op.
+func selectAnalyzers(runList string) ([]*Analyzer, error) {
+	if runList == "" {
+		return analyzers, nil
 	}
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(runList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("prima-vet: unknown analyzer %q (see -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("prima-vet: -run selected no analyzers")
+	}
+	return out, nil
+}
+
+// runAnalyzers applies every per-package analyzer to the package and
+// returns the findings sorted by position.
+func runAnalyzers(p *Package) []Finding {
+	return runSelected(analyzers, p)
+}
+
+// runSelected applies the chosen per-package analyzers to one package.
+func runSelected(selected []*Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, a := range selected {
+		if a.Run != nil {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// runProgramAnalyzers applies the chosen interprocedural analyzers to
+// the whole program, keeping only findings inside requested packages.
+func runProgramAnalyzers(selected []*Analyzer, prog *Program) []Finding {
+	var out []Finding
+	for _, a := range selected {
+		if a.RunProgram != nil {
+			out = append(out, prog.reported(a.RunProgram(prog))...)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -53,7 +112,6 @@ func runAnalyzers(p *Package) []Finding {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
 }
 
 // ---- shared AST/type helpers ----

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadFixture(t *testing.T, name string) (*Loader, *Package) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+	}
+	return loader, pkg
+}
+
+func nodeByName(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Fn != nil && n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %s", name)
+	return nil
+}
+
+func calleeNames(site *CallSite) []string {
+	var out []string
+	for _, c := range site.Callees {
+		out = append(out, c.Name())
+	}
+	return out
+}
+
+// TestCallGraphInterfaceDispatch pins CHA resolution: a call through
+// an interface resolves to every module type implementing it, while a
+// direct call resolves to exactly one callee.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	_, pkg := loadFixture(t, "callgraph")
+	g := BuildCallGraph([]*Package{pkg})
+
+	dispatch := nodeByName(t, g, "Dispatch")
+	var speakSite *CallSite
+	for _, site := range dispatch.Calls {
+		if len(site.Callees) > 0 {
+			speakSite = site
+		}
+	}
+	if speakSite == nil {
+		t.Fatal("Dispatch has no resolved call sites")
+	}
+	names := calleeNames(speakSite)
+	if len(names) != 2 {
+		t.Fatalf("interface dispatch resolved to %v, want both implementations", names)
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "Dog") || !strings.Contains(joined, "Cat") {
+		t.Errorf("CHA callees = %v, want Dog.Speak and (*Cat).Speak", names)
+	}
+
+	direct := nodeByName(t, g, "Direct")
+	var directCallees []string
+	for _, site := range direct.Calls {
+		directCallees = append(directCallees, calleeNames(site)...)
+	}
+	if len(directCallees) != 1 || !strings.Contains(directCallees[0], "Dog") {
+		t.Errorf("static call resolved to %v, want exactly Dog.Speak", directCallees)
+	}
+}
+
+// TestCallGraphFuncLit pins the synthetic encloser edge: the literal
+// inside UseLit gets its own node, linked back to its encloser, and
+// its body's calls are resolved.
+func TestCallGraphFuncLit(t *testing.T) {
+	_, pkg := loadFixture(t, "callgraph")
+	g := BuildCallGraph([]*Package{pkg})
+
+	useLit := nodeByName(t, g, "UseLit")
+	var lit *CGNode
+	for _, n := range g.Nodes() {
+		if n.Lit != nil && n.Encloser == useLit {
+			lit = n
+		}
+	}
+	if lit == nil {
+		t.Fatal("no literal node enclosed by UseLit")
+	}
+	var names []string
+	for _, site := range lit.Calls {
+		names = append(names, calleeNames(site)...)
+	}
+	if len(names) != 1 || !strings.Contains(names[0], "Dispatch") {
+		t.Errorf("literal's calls resolved to %v, want Dispatch", names)
+	}
+}
+
+// TestTransitiveClosure pins the closure used by lockorder's
+// may-acquire sets: facts seeded on a callee are visible from every
+// caller that can reach it.
+func TestTransitiveClosure(t *testing.T) {
+	_, pkg := loadFixture(t, "callgraph")
+	g := BuildCallGraph([]*Package{pkg})
+
+	closure := g.TransitiveClosure(func(n *CGNode) factSet {
+		if n.Fn != nil && n.Fn.Name() == "Speak" {
+			return factSet{"speaks": true}
+		}
+		return nil
+	})
+	useLit := nodeByName(t, g, "UseLit")
+	if !closure[useLit]["speaks"] {
+		t.Error("UseLit -> literal -> Dispatch -> Speak not reflected in closure")
+	}
+}

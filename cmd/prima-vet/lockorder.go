@@ -1,0 +1,354 @@
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder derives the whole-module lock acquisition graph: a node
+// per lock class (a named struct type with a sync.Mutex/RWMutex
+// field), an edge A -> B whenever some execution path acquires B
+// while holding A — directly, or through any chain of calls resolved
+// by the call graph. Two properties are enforced:
+//
+//  1. the graph is acyclic: any cycle among distinct classes is a
+//     potential deadlock and is reported on every participating edge;
+//  2. classes pinned in lockorder.txt are acquired in file order:
+//     acquiring an earlier-pinned class while holding a later-pinned
+//     one is an inversion even before a full cycle exists.
+//
+// Limitations, by design: acquisitions of two instances of the same
+// class are not tracked (no static instance identity), and locks
+// passed to the standard library stay invisible (std bodies are not
+// loaded).
+var lockorderAnalyzer = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "lock acquisition graph: cycles and lockorder.txt inversions are potential deadlocks",
+	RunProgram: runLockorder,
+}
+
+// lockOrderPins is the checked-in canonical acquisition order,
+// module-relative class names, one per line, outermost first.
+//
+//go:embed lockorder.txt
+var lockOrderPins string
+
+// lockEdge is one observed held->acquired pair.
+type lockEdge struct {
+	from, to string // class names (module-qualified)
+	pos      token.Pos
+	pkg      *Package // for position rendering
+	fn       string   // function where observed
+}
+
+func runLockorder(prog *Program) []Finding {
+	edges := collectLockEdges(prog)
+	return lockFindings(prog, edges, parseLockOrder(lockOrderPins))
+}
+
+// parseLockOrder maps module-relative class names to their pinned rank.
+func parseLockOrder(text string) map[string]int {
+	rank := make(map[string]int)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rank[line] = len(rank)
+	}
+	return rank
+}
+
+// collectLockEdges runs the held-set dataflow over every function.
+func collectLockEdges(prog *Program) []*lockEdge {
+	// mayAcquire[n]: classes n may lock, transitively through calls.
+	may := prog.CG.TransitiveClosure(func(n *CGNode) factSet {
+		facts := factSet{}
+		ownBody(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if class, op := lockEvent(prog, n.Pkg, call); class != "" && (op == "Lock" || op == "RLock") {
+					facts[class] = true
+				}
+			}
+			return true
+		})
+		return facts
+	})
+
+	var edges []*lockEdge
+	seen := make(map[string]bool) // from|to|pos dedup
+	record := func(n *CGNode, held factSet, to string, pos token.Pos) {
+		for from := range held {
+			if from == to {
+				continue // same-class pairs need instance identity we don't have
+			}
+			key := fmt.Sprintf("%s|%s|%d", from, to, pos)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			edges = append(edges, &lockEdge{from: from, to: to, pos: pos, pkg: n.Pkg, fn: n.Name()})
+		}
+	}
+
+	for _, n := range prog.CG.Nodes() {
+		analyzeHeldSets(prog, n, may, record)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].pos < edges[j].pos
+	})
+	return edges
+}
+
+// analyzeHeldSets computes the may-held lock set at every point of n
+// via the CFG fixpoint, then replays each block recording edges.
+func analyzeHeldSets(prog *Program, n *CGNode, may map[*CGNode]factSet, record func(*CGNode, factSet, string, token.Pos)) {
+	siteCallees := make(map[*ast.CallExpr][]*CGNode)
+	for _, site := range n.Calls {
+		if site.Call != nil {
+			siteCallees[site.Call] = append(siteCallees[site.Call], site.Callees...)
+		}
+	}
+
+	apply := func(b *Block, held factSet, rec bool) factSet {
+		held = held.clone()
+		for _, s := range b.Stmts {
+			_, isDefer := s.(*ast.DeferStmt)
+			ast.Inspect(s, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.FuncLit:
+					// The literal may run here (immediate call, defer, go):
+					// its transitive acquisitions pair with the current held
+					// set. Its own body is a separate CG node.
+					if ln := prog.CG.LitNode(x); ln != nil && rec {
+						for to := range may[ln] {
+							record(n, held, to, x.Pos())
+						}
+					}
+					return false
+				case *ast.CallExpr:
+					if class, op := lockEvent(prog, n.Pkg, x); class != "" {
+						switch op {
+						case "Lock", "RLock":
+							if rec {
+								record(n, held, class, x.Pos())
+							}
+							held[class] = true
+						case "Unlock", "RUnlock":
+							if !isDefer {
+								delete(held, class)
+							}
+							// A deferred unlock keeps the lock held for the
+							// remainder of the function, which is exactly the
+							// held-set we want.
+						}
+						return true
+					}
+					if rec {
+						for _, callee := range siteCallees[x] {
+							for to := range may[callee] {
+								record(n, held, to, x.Pos())
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return held
+	}
+
+	cfg := BuildCFG(n.Body)
+	res := cfg.Fixpoint(factSet{}, func(b *Block, in factSet) factSet {
+		return apply(b, in, false)
+	})
+	for _, b := range cfg.Blocks {
+		apply(b, res.In[b.Index], true)
+	}
+}
+
+// lockEvent classifies a call as a mutex operation on a module lock
+// class. It matches x.mu.Lock() (named mutex field) and x.Lock()
+// (embedded mutex) where x has a named module struct type, returning
+// the class name and the sync method name.
+func lockEvent(prog *Program, p *Package, call *ast.CallExpr) (class, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	// The invoked method must be sync.Mutex/RWMutex's.
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", ""
+	}
+	if obj := s.Obj(); obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	// Find the owning expression: for x.mu.Lock() the owner is x; for
+	// an embedded mutex x.Lock() the owner is x itself.
+	owner := sel.X
+	if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		if tv, ok := p.Info.Types[sel.X]; ok && isSyncMutex(tv.Type) {
+			owner = inner.X
+		}
+	}
+	tv, ok := p.Info.Types[owner]
+	if !ok || tv.Type == nil {
+		return "", ""
+	}
+	named, ok := derefType(tv.Type).(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || !moduleInternal(prog, pkg.Path()) {
+		return "", ""
+	}
+	return classOf(named), sel.Sel.Name
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func moduleInternal(prog *Program, path string) bool {
+	return path == prog.Loader.Module || strings.HasPrefix(path, prog.Loader.Module+"/")
+}
+
+// lockFindings turns the edge set into diagnostics: SCC cycles first,
+// then pinned-order inversions.
+func lockFindings(prog *Program, edges []*lockEdge, rank map[string]int) []Finding {
+	module := prog.Loader.Module
+	short := func(class string) string { return shortClass(class, module) }
+
+	// Adjacency over classes.
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	scc := stronglyConnected(adj)
+
+	var out []Finding
+	for _, e := range edges {
+		if scc[e.from] != 0 && scc[e.from] == scc[e.to] {
+			out = append(out, Finding{
+				Pos:      e.pkg.Fset.Position(e.pos),
+				Analyzer: "lockorder",
+				Message: fmt.Sprintf("lock-order cycle: %s acquired while %s is held in %s (potential deadlock)",
+					short(e.to), short(e.from), e.fn),
+			})
+			continue
+		}
+		rf, okF := rank[short(e.from)]
+		rt, okT := rank[short(e.to)]
+		if okF && okT && rt < rf {
+			out = append(out, Finding{
+				Pos:      e.pkg.Fset.Position(e.pos),
+				Analyzer: "lockorder",
+				Message: fmt.Sprintf("lock order inversion in %s: %s acquired while %s is held, but lockorder.txt pins %s first",
+					e.fn, short(e.to), short(e.from), short(e.to)),
+			})
+		}
+	}
+	return out
+}
+
+// stronglyConnected assigns a component id (>0) to every class that
+// sits in a cycle of two or more distinct classes; classes in trivial
+// components get 0. Tarjan's algorithm; the class graph is tiny.
+func stronglyConnected(adj map[string]map[string]bool) map[string]int {
+	nodes := make([]string, 0, len(adj))
+	seenNode := make(map[string]bool)
+	addNode := func(n string) {
+		if !seenNode[n] {
+			seenNode[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	comp := make(map[string]int)
+	next, compID := 1, 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var tos []string
+		for to := range adj[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+	return comp
+}

@@ -1,18 +1,30 @@
 // Command prima-vet is the repo's custom static-analysis pass. It
 // type-checks packages with only the standard library (go/ast,
-// go/parser, go/types) and applies four repo-specific analyzers:
+// go/parser, go/types) and applies two layers of repo-specific
+// analyzers.
+//
+// Per-package (layer 1):
 //
 //	lockcheck   lock discipline on mutex-guarded structs
 //	puritycheck determinism of the coverage/refinement algebra
 //	errcheck    no discarded errors on audit/codec/federation paths
 //	codecpair   Encode*/Decode* symmetry with round-trip tests
 //
+// Interprocedural (layer 2, whole-module call graph + CFG dataflow):
+//
+//	lockorder   lock acquisition graph; cycles and pinned-order
+//	            inversions (lockorder.txt) are potential deadlocks
+//	phileak     taint from prima:phi fields into logs, error strings,
+//	            and responses that bypass prima:redact sanitizers
+//	arenasafe   no mutation of prima:arena values after publication
+//
 // Usage:
 //
-//	prima-vet [packages]
+//	prima-vet [-list] [-run a,b] [packages]
 //
 // Packages default to ./... . Exit status is 0 when clean, 1 when
-// any analyzer reports findings, 2 on usage or load errors.
+// any analyzer reports findings, 2 on usage or load errors (unknown
+// -run names included).
 package main
 
 import (
@@ -30,8 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("prima-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: prima-vet [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: prima-vet [-list] [-run a,b] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -42,6 +55,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	selected, err := selectAnalyzers(*runList)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -64,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var pkgs []*Package
 	found := 0
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
@@ -71,11 +90,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "prima-vet: %s: %v\n", dir, err)
 			return 2
 		}
-		for _, f := range runAnalyzers(pkg) {
+		pkgs = append(pkgs, pkg)
+		for _, f := range runSelected(selected, pkg) {
 			fmt.Fprintln(stdout, f)
 			found++
 		}
 	}
+
+	// Layer 2: one whole-program pass over everything that loaded.
+	prog := BuildProgram(loader, pkgs)
+	for _, f := range runProgramAnalyzers(selected, prog) {
+		fmt.Fprintln(stdout, f)
+		found++
+	}
+
 	if found > 0 {
 		fmt.Fprintf(stderr, "prima-vet: %d finding(s)\n", found)
 		return 1

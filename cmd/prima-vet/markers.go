@@ -1,0 +1,135 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The interprocedural analyzers are configured by marker comments in
+// the analyzed source, so policy lives next to the code it describes:
+//
+//	prima:phi     on a struct field — the field carries protected
+//	              health information (phileak taint source)
+//	prima:redact  on a function — the function is a sanitizer; values
+//	              passing through it are no longer tainted
+//	prima:arena   on a type — the type is arena-backed and must not be
+//	              mutated after it is published (arenasafe)
+//
+// Markers appear anywhere in the doc comment or the trailing line
+// comment of the declaration they annotate.
+
+// Markers is the collected annotation set of a Program.
+type Markers struct {
+	// PHIFields maps the field objects marked prima:phi.
+	PHIFields map[*types.Var]bool
+	// Redactors maps the function objects marked prima:redact.
+	Redactors map[*types.Func]bool
+	// Arenas maps the named types marked prima:arena.
+	Arenas map[*types.Named]bool
+}
+
+// hasMarker reports whether any comment line consists of the marker
+// (optionally followed by explanatory text). The marker must open the
+// line — prose that merely mentions a marker name does not count.
+func hasMarker(marker string, groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			for _, line := range strings.Split(c.Text, "\n") {
+				line = strings.TrimLeft(line, "/* \t")
+				if line == marker || strings.HasPrefix(line, marker+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// collectMarkers scans every package for annotation comments.
+func collectMarkers(pkgs []*Package) *Markers {
+	m := &Markers{
+		PHIFields: make(map[*types.Var]bool),
+		Redactors: make(map[*types.Func]bool),
+		Arenas:    make(map[*types.Named]bool),
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				switch decl := d.(type) {
+				case *ast.FuncDecl:
+					if hasMarker("prima:redact", decl.Doc) {
+						if fn, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
+							m.Redactors[fn] = true
+						}
+					}
+				case *ast.GenDecl:
+					for _, spec := range decl.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if hasMarker("prima:arena", decl.Doc, ts.Doc, ts.Comment) {
+							if tn, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+								if named, ok := tn.Type().(*types.Named); ok {
+									m.Arenas[named] = true
+								}
+							}
+						}
+						st, ok := ts.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, fld := range st.Fields.List {
+							if !hasMarker("prima:phi", fld.Doc, fld.Comment) {
+								continue
+							}
+							for _, name := range fld.Names {
+								if v, ok := p.Info.Defs[name].(*types.Var); ok {
+									m.PHIFields[v] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// phiCarrier reports whether t is, or transitively contains, a struct
+// with a prima:phi field — a value of such a type may carry PHI as a
+// whole (audit.Entry, federation.Conflict). Pointers, slices, arrays,
+// and maps of carriers are carriers.
+func (m *Markers) phiCarrier(t types.Type) bool {
+	return m.carrier(t, make(map[types.Type]bool))
+}
+
+func (m *Markers) carrier(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if m.PHIFields[f] || m.carrier(f.Type(), seen) {
+				return true
+			}
+		}
+	case *types.Pointer:
+		return m.carrier(u.Elem(), seen)
+	case *types.Slice:
+		return m.carrier(u.Elem(), seen)
+	case *types.Array:
+		return m.carrier(u.Elem(), seen)
+	case *types.Map:
+		return m.carrier(u.Key(), seen) || m.carrier(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"sort"
+)
+
+// Program is the whole-program view the interprocedural analyzers
+// (lockorder, phileak, arenasafe) run over: every loaded module
+// package plus the call graph spanning them. Per-package analyzers
+// keep seeing individual Packages; a Program is built once per
+// prima-vet invocation after all requested packages load.
+type Program struct {
+	Loader *Loader
+	// Pkgs are the packages named on the command line — findings are
+	// reported only inside their directories.
+	Pkgs []*Package
+	// All is Pkgs plus every module-internal dependency the loader
+	// pulled in transitively, sorted by import path.
+	All []*Package
+	CG  *CallGraph
+	// Markers are the repo's analysis annotations (prima:phi,
+	// prima:redact, prima:arena) collected across All.
+	Markers *Markers
+}
+
+// BuildProgram assembles the whole-program view from the loader's
+// cache after the requested packages have been loaded.
+func BuildProgram(l *Loader, requested []*Package) *Program {
+	all := l.Cached()
+	prog := &Program{
+		Loader: l,
+		Pkgs:   requested,
+		All:    all,
+		CG:     BuildCallGraph(all),
+	}
+	prog.Markers = collectMarkers(all)
+	return prog
+}
+
+// reported keeps program-level findings inside the requested package
+// directories: dependencies pulled in only for type information are
+// analyzed (their bodies participate in the call graph) but not
+// reported on.
+func (prog *Program) reported(fs []Finding) []Finding {
+	dirs := make(map[string]bool, len(prog.Pkgs))
+	for _, p := range prog.Pkgs {
+		dirs[p.Dir] = true
+	}
+	var out []Finding
+	for _, f := range fs {
+		if dirs[dirOf(f.Pos.Filename)] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func dirOf(filename string) string { return filepath.Dir(filename) }
+
+// Cached returns every module package the loader has materialized,
+// sorted by import path for deterministic analysis order.
+func (l *Loader) Cached() []*Package {
+	var out []*Package
+	for _, p := range l.cache {
+		if len(p.Files) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

@@ -1,0 +1,48 @@
+// Package arenasafe exercises the publication-safety analyzer: a
+// prima:arena value may be filled freely while local, but no write
+// may follow its publication (store, return, capture, send).
+package arenasafe
+
+// Box is immutable after publication.
+//
+// prima:arena
+type Box struct {
+	vals []int
+	n    int
+}
+
+var shared *Box
+
+// bad publishes the box and then keeps writing to it.
+func bad() *Box {
+	b := &Box{}
+	shared = b
+	b.n = 1 // want arenasafe "mutated after publication"
+	return b
+}
+
+// leak publishes through a closure capture.
+func leak(sink func(*Box)) {
+	b := &Box{}
+	f := func() { sink(b) }
+	f()
+	b.n = 2 // want arenasafe "mutated after publication"
+}
+
+// good does all its writes before publication.
+func good() *Box {
+	b := &Box{}
+	b.n = 1
+	b.vals = append(b.vals, 1)
+	return b
+}
+
+// refresh reallocates after publishing: the new allocation is fresh,
+// so the write is clean.
+func refresh() *Box {
+	b := &Box{}
+	shared = b
+	b = &Box{}
+	b.n = 3
+	return b
+}

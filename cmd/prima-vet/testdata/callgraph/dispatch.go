@@ -1,0 +1,27 @@
+// Package callgraph is a driver fixture (no want annotations): the
+// call-graph test asserts CHA resolution of the interface dispatch
+// below and the synthetic encloser edge for the function literal.
+package callgraph
+
+type Speaker interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Speak() string { return "meow" }
+
+// Dispatch calls through the interface: CHA must resolve the call to
+// both implementations.
+func Dispatch(s Speaker) string { return s.Speak() }
+
+// Direct calls one implementation statically.
+func Direct() string { return Dog{}.Speak() }
+
+// UseLit encloses a function literal that calls Dispatch.
+func UseLit() func() string {
+	f := func() string { return Dispatch(Dog{}) }
+	return f
+}

@@ -1,0 +1,60 @@
+// Package cfgloop is a driver fixture (no want annotations): the CFG
+// test builds each body below and asserts the dataflow fixpoint
+// terminates within its iteration bound on loop-heavy shapes.
+package cfgloop
+
+func Nested(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j%2 == 0 {
+				total += j
+				continue
+			}
+			total -= j
+		}
+	}
+	return total
+}
+
+func Labeled(m [][]int) int {
+	sum := 0
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			sum += v
+		}
+	}
+	return sum
+}
+
+func GotoLoop(n int) int {
+	i := 0
+again:
+	if i < n {
+		i++
+		goto again
+	}
+	return i
+}
+
+func SwitchLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		switch {
+		case x > 10:
+			s += 10
+		case x > 0:
+			s += x
+		default:
+			s--
+		}
+	}
+	return s
+}

@@ -1,0 +1,47 @@
+// Package lockorder exercises the interprocedural lock-order
+// analyzer: lockAB and lockBA together close an A -> B -> A cycle in
+// the acquisition graph (lockAB's second acquisition happens inside a
+// helper, so the edge only exists interprocedurally).
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+}
+
+type B struct {
+	mu sync.Mutex
+}
+
+var a A
+var b B
+
+// lockAB acquires A, then B through a helper call.
+func lockAB() {
+	a.mu.Lock()
+	lockB() // want lockorder "lock-order cycle"
+	a.mu.Unlock()
+}
+
+func lockB() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// lockBA acquires the same pair in the opposite order.
+func lockBA() {
+	b.mu.Lock()
+	a.mu.Lock() // want lockorder "lock-order cycle"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// sequential is clean: the first lock is released before the second
+// is taken, so no hold-while-acquiring edge exists.
+func sequential() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

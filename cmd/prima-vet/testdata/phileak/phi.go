@@ -1,0 +1,54 @@
+// Package phileak exercises the PHI taint analyzer: values read from
+// prima:phi fields must not reach prints, logs, or error strings
+// except through a prima:redact helper.
+package phileak
+
+import (
+	"fmt"
+	"log"
+)
+
+// Record is an audit-like row.
+type Record struct {
+	Name string // prima:phi — patient-identifying
+	Op   string
+}
+
+// Mask is this package's sanctioned redaction helper.
+//
+// prima:redact
+func Mask(s string) string {
+	if s == "" {
+		return s
+	}
+	return s[:1] + "***"
+}
+
+func direct(r Record) {
+	fmt.Println(r.Name) // want phileak "PHI may reach fmt.Println"
+	fmt.Println(r.Op)   // clean: Op is not marked
+}
+
+func viaLocal(r Record) {
+	name := r.Name
+	msg := "user=" + name
+	log.Printf("%s", msg) // want phileak "PHI may reach log.Printf"
+}
+
+// logName prints its argument; callers passing PHI are flagged at
+// their call sites, not here (the parameter itself is not PHI).
+func logName(s string) {
+	log.Println(s)
+}
+
+func interproc(r Record) {
+	logName(r.Name) // want phileak "PHI passed to"
+}
+
+func redacted(r Record) {
+	fmt.Println(Mask(r.Name)) // clean: routed through the redactor
+}
+
+func carrier(r Record) {
+	fmt.Printf("%v\n", r) // want phileak "PHI may reach fmt.Printf"
+}

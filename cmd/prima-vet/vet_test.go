@@ -47,11 +47,16 @@ func parseWants(t *testing.T, dir string) []want {
 	return out
 }
 
-// TestFixtures runs every analyzer over the deliberately-broken
-// testdata packages and requires an exact match between findings and
-// // want annotations — no missing and no extra diagnostics.
+// TestFixtures runs every analyzer — per-package and interprocedural
+// — over the deliberately-broken testdata packages and requires an
+// exact match between findings and // want annotations — no missing
+// and no extra diagnostics.
 func TestFixtures(t *testing.T) {
-	for _, fixture := range []string{"lockcheck", "purity", "errcheck", "codecpair"} {
+	fixtures := []string{
+		"lockcheck", "purity", "errcheck", "codecpair",
+		"lockorder", "phileak", "arenasafe",
+	}
+	for _, fixture := range fixtures {
 		t.Run(fixture, func(t *testing.T) {
 			dir := filepath.Join("testdata", fixture)
 			loader, err := NewLoader(dir)
@@ -66,6 +71,8 @@ func TestFixtures(t *testing.T) {
 				t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
 			}
 			findings := runAnalyzers(pkg)
+			prog := BuildProgram(loader, []*Package{pkg})
+			findings = append(findings, runProgramAnalyzers(analyzers, prog)...)
 			wants := parseWants(t, dir)
 			if len(wants) == 0 {
 				t.Fatal("fixture has no // want annotations")
@@ -148,6 +155,30 @@ func TestExitCodes(t *testing.T) {
 	}
 	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("missing dir exited %d, want 2", code)
+	}
+
+	// -run with an unknown analyzer is a usage error, never a silent
+	// no-op.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-run", "nope", "./testdata/errcheck"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-run nope exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("-run nope stderr = %q, want mention of unknown analyzer", stderr.String())
+	}
+
+	// A valid -run subset reports only that analyzer's findings.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-run", "lockorder", "./testdata/lockorder"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-run lockorder exited %d, want 1:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[lockorder]") {
+		t.Errorf("lockorder findings missing: %q", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "[errcheck]") {
+		t.Errorf("-run lockorder leaked other analyzers: %q", stdout.String())
 	}
 }
 

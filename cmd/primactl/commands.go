@@ -285,10 +285,12 @@ func demoTable1() error {
 	ps := scenario.PolicyStore()
 	entries := scenario.Table1()
 	fmt.Println("PRIMA §5 / Table 1 use case")
-	fmt.Println("audit trail:")
+	fmt.Println("audit trail (PHI masked):")
 	for i, e := range entries {
-		fmt.Printf("  t%-3d %-6s %-12s %-12s %-6s status=%d\n",
-			i+1, e.User, e.Data, e.Purpose, e.Authorized, int(e.Status))
+		// Raw User/Data/Purpose are PHI (prima:phi); the demo prints the
+		// masked user plus the entry's policy projection instead.
+		fmt.Printf("  t%-3d %-10s %s status=%d\n",
+			i+1, report.RedactValue(e.User), e.Rule().Compact(), int(e.Status))
 	}
 	before, err := prima.EntryCoverage(ps, entries, v)
 	if err != nil {

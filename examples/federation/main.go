@@ -13,6 +13,7 @@ import (
 
 	prima "repro"
 	"repro/internal/audit"
+	"repro/internal/report"
 	"repro/internal/scenario"
 )
 
@@ -66,7 +67,8 @@ func main() {
 	fmt.Printf("sites: %d, consolidated entries: %d, duplicates removed: %d, conflicts: %d\n",
 		fed.Sources(), consolidated.Len(), res.Duplicates, len(res.Conflicts))
 	for _, c := range res.Conflicts {
-		fmt.Printf("  conflict: %s\n", c)
+		// Conflicts embed whole audit entries; print them redacted.
+		fmt.Printf("  %s\n", report.RedactConflict(c))
 	}
 
 	// No single site reaches the paper's thresholds (f=5, >1 user)...

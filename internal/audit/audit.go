@@ -55,12 +55,17 @@ func (s Status) String() string {
 }
 
 // Entry is one audit record with the paper's exact schema.
+//
+// The prima:phi markers below feed prima-vet's phileak analyzer:
+// those fields identify people and the health data touched, and must
+// not reach prints, logs, or error strings except through the
+// prima:redact helpers in internal/report.
 type Entry struct {
 	Time       time.Time `json:"time"`
 	Op         Op        `json:"op"`
-	User       string    `json:"user"`
-	Data       string    `json:"data"`
-	Purpose    string    `json:"purpose"`
+	User       string    `json:"user"`       // prima:phi — requesting user identity
+	Data       string    `json:"data"`       // prima:phi — data category accessed
+	Purpose    string    `json:"purpose"`    // prima:phi — stated access purpose
 	Authorized string    `json:"authorized"` // authorization category (role)
 	Status     Status    `json:"status"`
 
@@ -69,7 +74,7 @@ type Entry struct {
 	Site string `json:"site,omitempty"`
 	// Reason carries the manually entered justification of an
 	// exception-based access, when one was recorded.
-	Reason string `json:"reason,omitempty"`
+	Reason string `json:"reason,omitempty"` // prima:phi — free-text justification
 }
 
 // Validate reports schema violations: a usable audit row needs a

@@ -23,13 +23,14 @@ import (
 	"repro/internal/consent"
 	"repro/internal/minidb"
 	"repro/internal/policy"
+	"repro/internal/report"
 	"repro/internal/vocab"
 )
 
 // Principal identifies the requesting user and their authorization
 // category (role).
 type Principal struct {
-	User string
+	User string // prima:phi — requesting user identity
 	Role string
 }
 
@@ -110,7 +111,7 @@ func (e *Enforcer) checkVocabulary(p Principal, purpose string) error {
 		return nil
 	}
 	if h := e.v.Hierarchy("purpose"); h != nil && !h.Contains(purpose) {
-		return fmt.Errorf("hdb: purpose %q is not in the vocabulary", purpose)
+		return fmt.Errorf("hdb: purpose %q is not in the vocabulary", report.RedactValue(purpose))
 	}
 	if h := e.v.Hierarchy("authorized"); h != nil && !h.Contains(p.Role) {
 		return fmt.Errorf("hdb: role %q is not in the vocabulary", p.Role)
@@ -314,7 +315,7 @@ func (e *Enforcer) run(p Principal, purpose, reason, sql string, breakGlass bool
 		if len(acc.Denied) > 0 {
 			e.audit(p, purpose, reason, acc, audit.Deny, acc.Denied)
 			return nil, acc, fmt.Errorf("%w: %s not permitted for %s by %s",
-				ErrDenied, strings.Join(acc.Denied, ", "), purpose, p.Role)
+				ErrDenied, strings.Join(acc.Denied, ", "), report.RedactValue(purpose), p.Role)
 		}
 		// Mask denied output columns.
 		deniedOut := map[string]bool{}
@@ -330,7 +331,7 @@ func (e *Enforcer) run(p Principal, purpose, reason, sql string, breakGlass bool
 				cats := keys(deniedOut)
 				e.audit(p, purpose, reason, acc, audit.Deny, cats)
 				return nil, acc, fmt.Errorf("%w: no permitted columns remain for %s by %s",
-					ErrDenied, purpose, p.Role)
+					ErrDenied, report.RedactValue(purpose), p.Role)
 			}
 		}
 		// Consent filtering over the categories actually returned.

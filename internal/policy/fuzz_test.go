@@ -1,0 +1,44 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodePolicy feeds arbitrary text through the policy text codec
+// and pins the decoder's contract: no panic on any input, and every
+// accepted policy survives a write/re-parse round trip with identical
+// canonical keys (rule normalization is idempotent).
+func FuzzDecodePolicy(f *testing.F) {
+	f.Add("{(data, demographic) ^ (purpose, treatment)}\n")
+	f.Add("{(authorized, nurse)}\n{(data, referral) ^ (purpose, registration) ^ (authorized, nurse)}\n")
+	f.Add("# comment\n\n{(data, x)}\n")
+	f.Add("{}")
+	f.Add("{(data demographic)}")
+	f.Add("{(data, a) ^ (data, b)}")
+	f.Add(strings.Repeat("{(data, d)}\n", 50))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePolicyString("fuzz", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		text := p.TextString()
+		p2, err := ParsePolicyString("fuzz2", text)
+		if err != nil {
+			t.Fatalf("re-parse of encoded policy failed: %v\nencoded:\n%s", err, text)
+		}
+		if p.Len() != p2.Len() {
+			t.Fatalf("round trip changed cardinality: %d -> %d", p.Len(), p2.Len())
+		}
+		keys := make(map[string]bool, p.Len())
+		for _, r := range p.Rules() {
+			keys[r.Key()] = true
+		}
+		for _, r := range p2.Rules() {
+			if !keys[r.Key()] {
+				t.Fatalf("round trip invented rule %s", r)
+			}
+		}
+	})
+}

@@ -28,6 +28,14 @@ type Term struct {
 }
 
 // T is shorthand for constructing a Term.
+//
+// prima:redact — a Term is an (attribute, category) pair drawn from
+// the shared vocabulary taxonomy: the projection of an audit row into
+// policy space discards the user identity, and refinement only
+// surfaces terms whose support clears the k-anonymity thresholds
+// (MinSupport, MinDistinctUsers). phileak therefore treats term
+// construction as the declassification boundary for the data and
+// purpose categories.
 func T(attr, value string) Term { return Term{Attr: attr, Value: value} }
 
 // String renders the term in the paper's notation.
@@ -190,6 +198,9 @@ func (r Rule) Key() string {
 // projection of an audit row or an enforcement check — without
 // constructing the rule. Normalized attribute order is
 // authorized < data < purpose, matching NewRule's sort.
+//
+// prima:redact — same declassification boundary as T: the key holds
+// only vocabulary categories, never a user identity.
 func TripleKey(data, purpose, authorized string) string {
 	a, d, p := vocab.Norm(authorized), vocab.Norm(data), vocab.Norm(purpose)
 	var sb strings.Builder

@@ -74,13 +74,23 @@ func (c *RangeCache) Range(p *Policy, v *vocab.Vocabulary, limit int) (*Range, e
 		return nil, err
 	}
 
+	// Re-read the input versions BEFORE taking the cache lock:
+	// Policy.Version and Vocabulary.Generation acquire their own
+	// locks, and the pinned acquisition order (lockorder.txt) puts
+	// Policy ahead of RangeCache — nesting them inside c.mu would
+	// invert it.
+	pver2 := p.Version()
+	vgen2 := v.Generation()
+
 	c.mu.Lock()
 	if len(c.entries) >= rangeCacheMax {
 		c.entries = make(map[rangeCacheKey]rangeCacheEntry)
 	}
 	// Only install if the inputs did not move while expanding; a
-	// racing mutation would make the entry stale at birth.
-	if p.Version() == pver && v.Generation() == vgen {
+	// racing mutation would make the entry stale at birth. (A mutation
+	// that lands after the re-read is caught by the next call's
+	// version compare.)
+	if pver2 == pver && vgen2 == vgen {
 		c.entries[key] = rangeCacheEntry{pver: pver, vgen: vgen, rg: rg}
 	}
 	c.mu.Unlock()

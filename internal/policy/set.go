@@ -179,6 +179,11 @@ func (p *Policy) String() string {
 
 // Range is the set of ground rules derivable from a policy
 // (Definition 8), deduplicated by canonical key.
+//
+// prima:arena — a Range is built once over the grounding arena's flat
+// term arrays and key builder, then shared lock-free (RangeCache, the
+// enforcer); prima-vet's arenasafe analyzer rejects any write to a
+// Range after it has been published.
 type Range struct {
 	rules []Rule
 	keys  map[string]int // canonical key -> index into rules

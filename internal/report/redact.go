@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/audit"
+)
+
+// This file holds the sanctioned way to put audit data in front of a
+// human. The prima:redact markers below are read by prima-vet's
+// phileak analyzer: a value that passed through one of these helpers
+// is no longer treated as PHI, so every print/log/error path for
+// audit entries is expected to route through here.
+
+// RedactValue masks an identifying string down to its first rune —
+// enough for an operator to correlate lines, not enough to identify
+// the person or the record.
+//
+// prima:redact
+func RedactValue(s string) string {
+	if s == "" {
+		return "<none>"
+	}
+	runes := []rune(s)
+	masked := len(runes) - 1
+	if masked > 8 {
+		masked = 8
+	}
+	return string(runes[0]) + strings.Repeat("*", masked)
+}
+
+// RedactEntry renders an audit entry with every prima:phi field
+// masked; timestamps, outcome, role, site, and status stay readable
+// because they are what an operator needs to triage.
+//
+// prima:redact
+func RedactEntry(e audit.Entry) string {
+	return fmt.Sprintf("{%s %s user=%s data=%s purpose=%s role=%s %s site=%s}",
+		e.Time.UTC().Format("2006-01-02T15:04:05Z"), e.Op,
+		RedactValue(e.User), RedactValue(e.Data), RedactValue(e.Purpose),
+		e.Authorized, e.Status, e.Site)
+}
+
+// RedactConflict renders a federation conflict with both entries
+// masked.
+//
+// prima:redact
+func RedactConflict(c audit.Conflict) string {
+	return fmt.Sprintf("conflict[%s | %s]", RedactEntry(c.A), RedactEntry(c.B))
+}

@@ -29,6 +29,20 @@ go run ./cmd/prima-vet ./...
 echo "==> go test ./..."
 go test ./...
 
+echo "==> coverage gate (cmd/prima-vet >= 70%, profiles kept as artifacts)"
+go test -coverprofile=coverage-prima-vet.out ./cmd/prima-vet > /dev/null
+go test -coverprofile=coverage-policy.out ./internal/policy > /dev/null
+go tool cover -func=coverage-prima-vet.out | awk '
+    /^total:/ {
+        sub(/%/, "", $3)
+        printf "prima-vet statement coverage: %s%%\n", $3
+        if ($3 + 0 < 70) { print "coverage below the 70% floor" > "/dev/stderr"; exit 1 }
+    }'
+
+echo "==> fuzz smoke (~30s: decoders must not panic on arbitrary input)"
+go test -fuzz=FuzzDecodePolicy -fuzztime=15s -run=NONE ./internal/policy > /dev/null
+go test -fuzz=FuzzDecodeEntry -fuzztime=15s -run=NONE ./internal/audit > /dev/null
+
 echo "==> go test -race (concurrency suites: audit, core, hdb, minidb, policy)"
 go test -race ./internal/audit/ ./internal/core/ ./internal/hdb/ ./internal/minidb/ ./internal/policy/
 
