@@ -4,15 +4,32 @@
 // JSONL and CSV codecs, and the Audit Management federation that
 // consolidates several site logs into one consistent view (the role
 // DB2 Information Integrator plays in the paper's first instantiation).
+//
+// The log is a streaming pipeline, not a snapshot store: ingestion is
+// lock-striped across shards, every append updates an incremental
+// per-rule index (see index.go), and durability goes through an
+// asynchronous batching sink (see sink.go). Three invariants hold:
+//
+//   - sequence monotonicity: every entry carries a globally unique,
+//     monotonically increasing sequence number assigned at append;
+//     Snapshot and Delta order by it, so the sharded log observes the
+//     exact append order a single-mutex log would;
+//   - flush ordering: when a sink is attached, sequence assignment and
+//     sink enqueue are a single atomic step, so the durable JSONL
+//     stream is written in sequence order;
+//   - index consistency: per-shard group and stats accumulators are
+//     updated under the same shard lock as the entry append, so a
+//     merged index view always equals a full rescan of the entries it
+//     has seen.
 package audit
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/policy"
@@ -79,21 +96,37 @@ type Entry struct {
 
 // Validate reports schema violations: a usable audit row needs a
 // timestamp, user, data category, purpose and role.
-func (e Entry) Validate() error {
+// blank reports whether s is empty or whitespace-only. ASCII resolves
+// in the loop (typically on the first byte); anything with high bytes
+// defers to TrimSpace for Unicode space handling.
+func blank(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r':
+		case c < 0x80:
+			return false
+		default:
+			return strings.TrimSpace(s) == ""
+		}
+	}
+	return true
+}
+
+func (e *Entry) Validate() error {
 	var missing []string
 	if e.Time.IsZero() {
 		missing = append(missing, "time")
 	}
-	if strings.TrimSpace(e.User) == "" {
+	if blank(e.User) {
 		missing = append(missing, "user")
 	}
-	if strings.TrimSpace(e.Data) == "" {
+	if blank(e.Data) {
 		missing = append(missing, "data")
 	}
-	if strings.TrimSpace(e.Purpose) == "" {
+	if blank(e.Purpose) {
 		missing = append(missing, "purpose")
 	}
-	if strings.TrimSpace(e.Authorized) == "" {
+	if blank(e.Authorized) {
 		missing = append(missing, "authorized")
 	}
 	if len(missing) > 0 {
@@ -129,9 +162,24 @@ func (e Entry) RuleKey() string {
 // Key returns a canonical identity for deduplication across federated
 // logs: same instant, same actor, same object, same outcome.
 func (e Entry) Key() string {
-	return fmt.Sprintf("%d|%d|%s|%s|%s|%s|%d",
-		e.Time.UnixNano(), e.Op, vocab.Norm(e.User), vocab.Norm(e.Data),
-		vocab.Norm(e.Purpose), vocab.Norm(e.Authorized), e.Status)
+	u, d := vocab.Norm(e.User), vocab.Norm(e.Data)
+	p, a := vocab.Norm(e.Purpose), vocab.Norm(e.Authorized)
+	var b strings.Builder
+	b.Grow(28 + len(u) + len(d) + len(p) + len(a))
+	b.WriteString(strconv.FormatInt(e.Time.UnixNano(), 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(e.Op)))
+	b.WriteByte('|')
+	b.WriteString(u)
+	b.WriteByte('|')
+	b.WriteString(d)
+	b.WriteByte('|')
+	b.WriteString(p)
+	b.WriteByte('|')
+	b.WriteString(a)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(e.Status)))
+	return b.String()
 }
 
 // String renders the entry compactly.
@@ -140,85 +188,284 @@ func (e Entry) String() string {
 		e.Time.Format(time.RFC3339), e.Op, e.User, e.Data, e.Purpose, e.Authorized, e.Status)
 }
 
-// Log is a thread-safe, append-only audit log.
-type Log struct {
+// stamped is an entry plus its global sequence number; shards store
+// stamped entries so any cross-shard read can restore append order.
+type stamped struct {
+	seq uint64
+	e   Entry
+}
+
+// shard is one lock stripe of the log: a run of stamped entries plus
+// the incremental group/stats accumulators for exactly those entries.
+type shard struct {
 	mu      sync.RWMutex
-	site    string
-	entries []Entry
-	sink    io.Writer
-	sinkErr func(error)
+	entries []stamped
+	groups  map[groupKey]*groupAcc
+	stats   statsAcc
+}
+
+// add appends one stamped entry and folds it into the shard's index
+// under a single critical section.
+func (s *shard) add(seq uint64, e *Entry) {
+	s.mu.Lock()
+	if s.entries == nil {
+		// First write to the stripe: skip the doubling ramp, stamped
+		// entries are wide and the early reallocations are pure churn.
+		s.entries = make([]stamped, 0, 64)
+	}
+	s.entries = append(s.entries, stamped{seq: seq, e: *e})
+	s.indexLocked(&s.entries[len(s.entries)-1].e)
+	s.mu.Unlock()
+}
+
+// defaultShards is the lock-stripe count of NewLog. Sixteen stripes
+// keep append contention negligible at clinic scale without making
+// cross-shard reads noticeably wider.
+const defaultShards = 16
+
+// Log is a thread-safe, append-only audit log, lock-striped across
+// shards. Entries are routed to a shard by a hash of (user, data,
+// purpose) and stamped with a global monotone sequence number, so
+// concurrent appends contend only per stripe while Snapshot and Delta
+// still observe one deterministic total order.
+type Log struct {
+	site   string
+	mask   uint64
+	seq    atomic.Uint64 // last assigned sequence number
+	epoch  atomic.Uint64 // bumped by structural ops (Reset/Expire/Rotate)
+	sink   atomic.Pointer[sink]
+	shards []*shard
 }
 
 // NewLog returns an empty log for the named site (may be empty).
-func NewLog(site string) *Log { return &Log{site: site} }
+func NewLog(site string) *Log { return NewLogShards(site, defaultShards) }
+
+// NewLogShards returns an empty log with the given number of lock
+// stripes, rounded up to a power of two and clamped to [1, 256]. One
+// shard reproduces the single-mutex behaviour exactly.
+func NewLogShards(site string, n int) *Log {
+	if n < 1 {
+		n = 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	l := &Log{site: site, mask: uint64(size - 1), shards: make([]*shard, size)}
+	for i := range l.shards {
+		l.shards[i] = &shard{}
+	}
+	return l
+}
 
 // Site returns the log's site identifier.
 func (l *Log) Site() string { return l.site }
 
-// SetSink attaches a durable writer: every appended entry is also
-// written to it as one JSON line, under the log's lock, so the sink
-// sees entries in append order. onErr (may be nil) is invoked when a
-// sink write fails; the in-memory append still succeeds, keeping the
-// clinical workflow unimpeded (the paper's first design constraint)
-// while surfacing the durability fault.
-func (l *Log) SetSink(w io.Writer, onErr func(error)) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.sink = w
-	l.sinkErr = onErr
+// Shards returns the lock-stripe count.
+func (l *Log) Shards() int { return len(l.shards) }
+
+// Seq returns the last assigned sequence number (0 when empty).
+func (l *Log) Seq() uint64 { return l.seq.Load() }
+
+// shardFor routes an entry to its stripe: an FNV-1a hash over the
+// (user, data, purpose) identity bytes. The op/status outcome is
+// deliberately excluded so replicas and conflicting records of the
+// same event land in the same stripe.
+func (l *Log) shardFor(e *Entry) *shard {
+	return l.shards[l.shardIndex(e)]
+}
+
+// shardIndex computes the stripe index for an entry.
+func (l *Log) shardIndex(e *Entry) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(e.User); i++ {
+		h = (h ^ uint64(e.User[i])) * prime64
+	}
+	h = (h ^ '|') * prime64
+	for i := 0; i < len(e.Data); i++ {
+		h = (h ^ uint64(e.Data[i])) * prime64
+	}
+	h = (h ^ '|') * prime64
+	for i := 0; i < len(e.Purpose); i++ {
+		h = (h ^ uint64(e.Purpose[i])) * prime64
+	}
+	return h & l.mask
 }
 
 // Append validates and appends entries. The log's site is stamped on
-// entries that do not already carry one.
+// entries that do not already carry one. Sequence numbers are
+// assigned per entry; when a durable sink is attached, assignment and
+// sink enqueue happen atomically so the sink stream preserves
+// sequence order (the flush-ordering invariant).
 func (l *Log) Append(entries ...Entry) error {
 	for i := range entries {
 		if err := entries[i].Validate(); err != nil {
 			return err
 		}
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for _, e := range entries {
-		if e.Site == "" {
-			e.Site = l.site
-		}
-		l.entries = append(l.entries, e)
-		if l.sink != nil {
-			if err := json.NewEncoder(l.sink).Encode(e); err != nil && l.sinkErr != nil {
-				l.sinkErr(err)
+	if s := l.sink.Load(); s != nil || len(entries) == 1 {
+		for i := range entries {
+			e := &entries[i]
+			if e.Site == "" {
+				// Stamp a local copy; the caller's slice is not ours
+				// to mutate.
+				st := *e
+				st.Site = l.site
+				e = &st
 			}
+			var seq uint64
+			if s != nil {
+				seq = s.send(l, *e)
+			} else {
+				seq = l.seq.Add(1)
+			}
+			l.shardFor(e).add(seq, e)
 		}
+		return nil
 	}
+	l.appendBatch(entries, true)
 	return nil
+}
+
+// appendBatch routes a sink-free batch: one sequence-range
+// reservation, then each stripe is locked once and grown to its exact
+// need instead of paying a lock round-trip and amortized growth per
+// entry. Sequence numbers follow input order, so Snapshot observes
+// the batch exactly as a per-entry loop would.
+func (l *Log) appendBatch(entries []Entry, stampSite bool) {
+	base := l.seq.Add(uint64(len(entries))) - uint64(len(entries))
+	// Bucket the batch by shard with a counting sort over the indices,
+	// so each shard's pass walks only its own entries instead of
+	// skip-scanning the whole batch per stripe.
+	var counts [256]int
+	idx := make([]uint8, len(entries))
+	for i := range entries {
+		si := l.shardIndex(&entries[i])
+		idx[i] = uint8(si)
+		counts[si]++
+	}
+	var offsets [256]int
+	pos := 0
+	for si := range l.shards {
+		offsets[si] = pos
+		pos += counts[si]
+	}
+	perm := make([]int32, len(entries))
+	for i := range entries {
+		perm[offsets[idx[i]]] = int32(i)
+		offsets[idx[i]]++
+	}
+	pos = 0
+	for si, sh := range l.shards {
+		if counts[si] == 0 {
+			continue
+		}
+		bucket := perm[pos : pos+counts[si]]
+		pos += counts[si]
+		sh.mu.Lock()
+		if need := len(sh.entries) + counts[si]; cap(sh.entries) < need {
+			c := 2 * cap(sh.entries)
+			if c < need {
+				c = need
+			}
+			if c < 64 {
+				c = 64
+			}
+			grown := make([]stamped, len(sh.entries), c)
+			copy(grown, sh.entries)
+			sh.entries = grown
+		}
+		for _, i := range bucket {
+			// Copy straight into the shard slice and patch the site
+			// stamp in place: the wide Entry is moved once, not twice.
+			sh.entries = append(sh.entries, stamped{seq: base + uint64(i) + 1, e: entries[i]})
+			st := &sh.entries[len(sh.entries)-1].e
+			if stampSite && st.Site == "" {
+				st.Site = l.site
+			}
+			sh.indexLocked(st)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// bulkLoad appends pre-validated entries without sink interaction or
+// site stamping; used by federation consolidation.
+func (l *Log) bulkLoad(entries []Entry) {
+	l.appendBatch(entries, false)
 }
 
 // Len returns the number of entries.
 func (l *Log) Len() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.entries)
+	n := 0
+	for _, sh := range l.shards {
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Snapshot returns a copy of the entries in append order.
-func (l *Log) Snapshot() []Entry {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	out := make([]Entry, len(l.entries))
-	copy(out, l.entries)
-	return out
+// collect copies every shard's stamped entries into one slice, in no
+// particular order. Shards are read one at a time; a concurrent
+// append may or may not be included, exactly like a racing Snapshot
+// on a single-mutex log.
+func (l *Log) collect() []stamped {
+	n := 0
+	for _, sh := range l.shards {
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	buf := make([]stamped, 0, n+8)
+	for _, sh := range l.shards {
+		sh.mu.RLock()
+		buf = append(buf, sh.entries...)
+		sh.mu.RUnlock()
+	}
+	return buf
 }
 
-// Filtered returns a copy of the entries satisfying keep.
-func (l *Log) Filtered(keep func(Entry) bool) []Entry {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	var out []Entry
-	for _, e := range l.entries {
-		if keep(e) {
-			out = append(out, e)
-		}
+// unstamp strips sequence numbers after ordering.
+func unstamp(buf []stamped) []Entry {
+	out := make([]Entry, len(buf))
+	for i := range buf {
+		out[i] = buf[i].e
 	}
 	return out
+}
+
+// Snapshot returns a copy of the entries in append order (ascending
+// sequence number — the deterministic total order the sequence
+// invariant guarantees).
+func (l *Log) Snapshot() []Entry {
+	buf := l.collect()
+	sort.Slice(buf, func(i, j int) bool { return buf[i].seq < buf[j].seq })
+	return unstamp(buf)
+}
+
+// Filtered returns a copy of the entries satisfying keep, in append
+// order.
+func (l *Log) Filtered(keep func(Entry) bool) []Entry {
+	buf := l.collect()
+	kept := buf[:0]
+	for _, se := range buf {
+		if keep(se.e) {
+			kept = append(kept, se)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].seq < kept[j].seq })
+	if len(kept) == 0 {
+		return nil
+	}
+	return unstamp(kept)
 }
 
 // Since returns entries with Time >= t, preserving order.
@@ -231,11 +478,46 @@ func (l *Log) Exceptions() []Entry {
 	return l.Filtered(func(e Entry) bool { return e.Status == Exception })
 }
 
-// Reset discards all entries; used between training periods.
+// Reset discards all entries; used between training periods. The
+// sequence counter is not rewound — sequence numbers stay unique for
+// the life of the log — but the index epoch advances, invalidating
+// outstanding cursors.
 func (l *Log) Reset() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.entries = nil
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		// Keep the backing array: a reset log is usually about to
+		// ingest again (rotation, tests, sustained pipelines), and
+		// snapshots never alias shard storage, so truncation is safe.
+		sh.entries = sh.entries[:0]
+		sh.groups = nil
+		sh.stats = statsAcc{}
+		sh.mu.Unlock()
+	}
+	l.epoch.Add(1)
+}
+
+// Grow pre-allocates capacity for about n further entries, spread
+// evenly across the shards. Callers that can bound the expected
+// volume (a simulation epoch, a day's expected traffic) use it to
+// skip the per-shard reallocation ramp during ingestion; it never
+// shrinks.
+func (l *Log) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	per := (n + len(l.shards) - 1) / len(l.shards)
+	// Hash routing is uneven on small n; leave headroom so the fuller
+	// stripes do not immediately regrow.
+	per += per/8 + 8
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		if need := len(sh.entries) + per; cap(sh.entries) < need {
+			grown := make([]stamped, len(sh.entries), need)
+			copy(grown, sh.entries)
+			sh.entries = grown
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // ToPolicy builds the ground policy P_AL from entries: one rule per
@@ -295,5 +577,32 @@ func Summarize(entries []Entry) Stats {
 // SortByTime sorts entries chronologically (stable, so same-instant
 // entries keep their relative order).
 func SortByTime(entries []Entry) {
-	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Time.Before(entries[j].Time) })
+	if len(entries) < 2 {
+		return
+	}
+	sorted := true
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Time.Before(entries[i-1].Time) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	// Stable-sort an index permutation and apply it in one pass:
+	// Entry is a wide struct, so moving it O(n log n) times inside
+	// the sort dominates; permuting indices moves each entry once.
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return entries[idx[a]].Time.Before(entries[idx[b]].Time)
+	})
+	out := make([]Entry, len(entries))
+	for i, j := range idx {
+		out[i] = entries[j]
+	}
+	copy(entries, out)
 }

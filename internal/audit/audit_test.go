@@ -32,7 +32,8 @@ func TestEntryValidate(t *testing.T) {
 		{"bad status", func(e Entry) Entry { e.Status = -1; return e }},
 	}
 	for _, c := range cases {
-		if err := c.mod(good).Validate(); err == nil {
+		bad := c.mod(good)
+		if err := bad.Validate(); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
@@ -182,6 +183,8 @@ func TestSinkStreamsEntries(t *testing.T) {
 	if err := l.Append(e2); err != nil {
 		t.Fatal(err)
 	}
+	// The sink is asynchronous: join the flusher before reading.
+	l.CloseSink()
 	got, err := ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
@@ -201,6 +204,7 @@ func TestSinkFailureDoesNotBlockAppend(t *testing.T) {
 	if err := l.Append(entry(t0, "a", "d", "p", "r", Regular)); err != nil {
 		t.Fatalf("append failed on sink error: %v", err)
 	}
+	l.CloseSink() // joins the flusher; the write error has been reported
 	if l.Len() != 1 || failures != 1 {
 		t.Errorf("len=%d failures=%d", l.Len(), failures)
 	}
@@ -210,6 +214,7 @@ func TestSinkFailureDoesNotBlockAppend(t *testing.T) {
 	if err := l2.Append(entry(t0, "a", "d", "p", "r", Regular)); err != nil || l2.Len() != 1 {
 		t.Errorf("silent sink failure broke append: %v", err)
 	}
+	l2.CloseSink()
 }
 
 type failWriter struct{}

@@ -3,9 +3,7 @@ package audit
 import (
 	"container/heap"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/vocab"
 )
@@ -108,34 +106,19 @@ type eventKey struct {
 }
 
 // Consolidate builds the consolidated view. The merge is a k-way merge
-// by timestamp over a min-heap of source cursors (each source log is
-// sorted first — concurrently when GOMAXPROCS allows — so
-// out-of-order appends at a site are tolerated). Entries that are
-// byte-identical in the seven schema columns are treated as replicas
-// of the same event and collapsed; entries that agree on (time, user,
-// data, purpose) but disagree on op or status are kept and reported
-// as conflicts.
+// by timestamp over a min-heap of source cursors; each source log
+// produces its entries pre-sorted through SnapshotByTime (per-shard
+// sorted runs merged by the sharded store itself), so out-of-order
+// appends at a site are tolerated. Entries that are byte-identical in
+// the seven schema columns are treated as replicas of the same event
+// and collapsed; entries that agree on (time, user, data, purpose)
+// but disagree on op or status are kept and reported as conflicts.
 func (f *Federation) Consolidate() Result {
 	snapshots := make([][]Entry, len(f.sources))
 	total := 0
 	for i, src := range f.sources {
-		snapshots[i] = src.Snapshot()
+		snapshots[i] = src.SnapshotByTime()
 		total += len(snapshots[i])
-	}
-	if runtime.GOMAXPROCS(0) > 1 && len(snapshots) > 1 {
-		var wg sync.WaitGroup
-		for i := range snapshots {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				SortByTime(snapshots[i])
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range snapshots {
-			SortByTime(snapshots[i])
-		}
 	}
 
 	h := make(cursorHeap, 0, len(snapshots))
@@ -169,6 +152,20 @@ func (f *Federation) Consolidate() Result {
 		}
 
 		unix := e.Time.UnixNano()
+
+		// Solo-instant fast path: when no already-emitted entry shares
+		// this instant (previous instant differs) and no upcoming entry
+		// can (the heap emits in time order, so it suffices to peek the
+		// next minimum), the entry can neither be a replica nor a
+		// conflict — emit it without touching the window maps.
+		if (!window || unix != curUnix) &&
+			(h.Len() == 0 || !h[0].entries[h[0].pos].Time.Equal(e.Time)) {
+			window = false
+			curUnix = unix
+			res.Entries = append(res.Entries, e)
+			continue
+		}
+
 		if !window || unix != curUnix {
 			window = true
 			curUnix = unix
@@ -203,8 +200,10 @@ func (f *Federation) Consolidate() Result {
 func (f *Federation) ConsolidateLog(site string) (*Log, Result) {
 	res := f.Consolidate()
 	l := NewLog(site)
-	// Entries already validated at their sources.
-	l.entries = append(l.entries, res.Entries...)
+	// Entries already validated at their sources; bulkLoad shards and
+	// indexes them while preserving the consolidated order as the new
+	// log's append order.
+	l.bulkLoad(res.Entries)
 	return l, res
 }
 

@@ -1,0 +1,348 @@
+package audit
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/vocab"
+)
+
+// Incremental refinement index. Every append folds the entry into its
+// shard's per-group and per-log accumulators under the same lock as
+// the entry itself, so downstream analytics — the Algorithm 4
+// GROUP BY … HAVING pass, row-level coverage, and Summarize — read
+// O(groups) merged state instead of rescanning O(entries) rows.
+//
+// Groups are keyed by the raw (data, purpose, authorized) triple,
+// matching the SQL extractor's GROUP BY semantics exactly (the SQL
+// engine groups by stored column bytes, not normalized values); each
+// group caches the canonical rule key once for coverage membership
+// tests. Per-group distinct users count raw user values, mirroring
+// SQL COUNT(DISTINCT user); the log-wide Stats normalize users,
+// mirroring Summarize.
+
+// groupKey is the raw GROUP BY identity of the default analysis
+// attribute set (data, purpose, authorized).
+type groupKey struct {
+	data       string
+	purpose    string
+	authorized string
+}
+
+// groupAcc is one shard's accumulator for a group.
+type groupAcc struct {
+	canon    string              // canonical rule key, computed once
+	total    int                 // all rows in the group
+	practice int                 // rows surviving Filter (exception + allow)
+	users    map[string]struct{} // distinct raw users among practice rows
+	first    time.Time           // practice window
+	last     time.Time
+}
+
+// statsAcc is one shard's Stats accumulator.
+type statsAcc struct {
+	total      int
+	allowed    int
+	denied     int
+	exceptions int
+	regular    int
+	users      map[string]struct{} // raw; normalized at read by Summary
+	first      time.Time
+	last       time.Time
+}
+
+// indexLocked folds one entry into the shard's accumulators; the
+// shard lock must be held. Users are recorded raw and normalized on
+// the O(users) read side instead of the O(entries) write side —
+// normalize(union raw) equals union(normalize) so Summary is
+// unchanged.
+func (s *shard) indexLocked(e *Entry) {
+	st := &s.stats
+	st.total++
+	if e.Op == Allow {
+		st.allowed++
+	} else {
+		st.denied++
+	}
+	if e.Status == Exception {
+		st.exceptions++
+	} else {
+		st.regular++
+	}
+	if st.users == nil {
+		st.users = make(map[string]struct{})
+	}
+	st.users[e.User] = struct{}{}
+	if st.first.IsZero() || e.Time.Before(st.first) {
+		st.first = e.Time
+	}
+	if e.Time.After(st.last) {
+		st.last = e.Time
+	}
+
+	if s.groups == nil {
+		s.groups = make(map[groupKey]*groupAcc)
+	}
+	k := groupKey{data: e.Data, purpose: e.Purpose, authorized: e.Authorized}
+	g := s.groups[k]
+	if g == nil {
+		g = &groupAcc{canon: e.RuleKey()}
+		s.groups[k] = g
+	}
+	g.total++
+	if e.Status == Exception && e.Op == Allow {
+		g.practice++
+		if g.users == nil {
+			g.users = make(map[string]struct{})
+		}
+		g.users[e.User] = struct{}{}
+		if g.first.IsZero() || e.Time.Before(g.first) {
+			g.first = e.Time
+		}
+		if e.Time.After(g.last) {
+			g.last = e.Time
+		}
+	}
+}
+
+// rebuildLocked recomputes the shard's accumulators from its entries
+// after a structural change (Expire/Rotate); the shard lock must be
+// held.
+func (s *shard) rebuildLocked() {
+	s.groups = nil
+	s.stats = statsAcc{}
+	for i := range s.entries {
+		s.indexLocked(&s.entries[i].e)
+	}
+}
+
+// Group is the merged, read-only view of one (data, purpose,
+// authorized) group across all shards.
+type Group struct {
+	Data       string // raw column values, the GROUP BY identity
+	Purpose    string
+	Authorized string
+	Key        string // canonical rule key (policy.TripleKey)
+
+	Total         int // all rows in the group
+	Practice      int // rows surviving Filter (exception-based allows)
+	PracticeUsers int // distinct users among practice rows
+	First         time.Time
+	Last          time.Time // practice window; zero when Practice == 0
+}
+
+// Rule converts the group identity into a ground rule, term order
+// matching the default analysis attributes.
+func (g Group) Rule() (policy.Rule, error) {
+	return policy.NewRule(
+		policy.T("data", g.Data),
+		policy.T("purpose", g.Purpose),
+		policy.T("authorized", g.Authorized),
+	)
+}
+
+// Groups merges the per-shard accumulators into one deterministic
+// view, sorted by the raw group identity. Cost is O(groups), not
+// O(entries): this is the read side of the incremental index.
+func (l *Log) Groups() []Group {
+	type merged struct {
+		canon    string
+		total    int
+		practice int
+		users    map[string]struct{}
+		first    time.Time
+		last     time.Time
+	}
+	acc := make(map[groupKey]*merged)
+	for _, sh := range l.shards {
+		sh.mu.RLock()
+		for k, g := range sh.groups {
+			m := acc[k]
+			if m == nil {
+				m = &merged{canon: g.canon}
+				acc[k] = m
+			}
+			m.total += g.total
+			m.practice += g.practice
+			if len(g.users) > 0 {
+				if m.users == nil {
+					m.users = make(map[string]struct{}, len(g.users))
+				}
+				for u := range g.users {
+					m.users[u] = struct{}{}
+				}
+			}
+			if !g.first.IsZero() && (m.first.IsZero() || g.first.Before(m.first)) {
+				m.first = g.first
+			}
+			if g.last.After(m.last) {
+				m.last = g.last
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]Group, 0, len(acc))
+	for k, m := range acc {
+		out = append(out, Group{
+			Data:          k.data,
+			Purpose:       k.purpose,
+			Authorized:    k.authorized,
+			Key:           m.canon,
+			Total:         m.total,
+			Practice:      m.practice,
+			PracticeUsers: len(m.users),
+			First:         m.first,
+			Last:          m.last,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Data != out[j].Data {
+			return out[i].Data < out[j].Data
+		}
+		if out[i].Purpose != out[j].Purpose {
+			return out[i].Purpose < out[j].Purpose
+		}
+		return out[i].Authorized < out[j].Authorized
+	})
+	return out
+}
+
+// Summary returns the log-wide Stats from the incremental index in
+// O(shards + users) — equivalent to Summarize(l.Snapshot()) without
+// materializing a snapshot.
+func (l *Log) Summary() Stats {
+	var s Stats
+	users := make(map[string]struct{})
+	for _, sh := range l.shards {
+		sh.mu.RLock()
+		st := &sh.stats
+		s.Total += st.total
+		s.Allowed += st.allowed
+		s.Denied += st.denied
+		s.Exceptions += st.exceptions
+		s.Regular += st.regular
+		for u := range st.users {
+			users[vocab.Norm(u)] = struct{}{}
+		}
+		if !st.first.IsZero() && (s.First.IsZero() || st.first.Before(s.First)) {
+			s.First = st.first
+		}
+		if st.last.After(s.Last) {
+			s.Last = st.last
+		}
+		sh.mu.RUnlock()
+	}
+	s.Users = len(users)
+	return s
+}
+
+// Cursor marks a read position in the log for O(delta) consumption:
+// the per-shard entry counts at the time of the last read, tied to
+// the index epoch. The zero Cursor reads from the start. A cursor
+// taken before a structural change (Reset/Expire/Rotate) is detected
+// via the epoch and triggers a resync from the start.
+type Cursor struct {
+	epoch uint64
+	pos   []int
+}
+
+// Delta returns the entries appended since the cursor, in append
+// order, plus the advanced cursor. resync reports that the cursor
+// was stale (zero, wrong epoch, or wrong shape) and the returned
+// entries restart from the beginning of the log — consumers keeping
+// derived state must discard it when resync is true.
+func (l *Log) Delta(c Cursor) (delta []Entry, next Cursor, resync bool) {
+	ep := l.epoch.Load()
+	resync = c.pos == nil || c.epoch != ep || len(c.pos) != len(l.shards)
+	next = Cursor{epoch: ep, pos: make([]int, len(l.shards))}
+	var buf []stamped
+	for i, sh := range l.shards {
+		from := 0
+		if !resync {
+			from = c.pos[i]
+		}
+		sh.mu.RLock()
+		n := len(sh.entries)
+		if from > n {
+			from = n
+		}
+		buf = append(buf, sh.entries[from:n]...)
+		next.pos[i] = n
+		sh.mu.RUnlock()
+	}
+	if l.epoch.Load() != ep {
+		// A structural change raced the read; restart from scratch.
+		return l.Delta(Cursor{})
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].seq < buf[j].seq })
+	return unstamp(buf), next, resync
+}
+
+// SnapshotByTime returns a copy of the entries in chronological
+// order, same-instant entries in append order — byte-identical to
+// SortByTime(Snapshot()) but sorted per shard (concurrently when
+// GOMAXPROCS allows) and k-way merged. Federation consolidation reads
+// its sources through this.
+func (l *Log) SnapshotByTime() []Entry {
+	runs := make([][]stamped, len(l.shards))
+	total := 0
+	for i, sh := range l.shards {
+		sh.mu.RLock()
+		if len(sh.entries) > 0 {
+			runs[i] = append([]stamped(nil), sh.entries...)
+		}
+		sh.mu.RUnlock()
+		total += len(runs[i])
+	}
+	less := func(a, b stamped) bool {
+		if !a.e.Time.Equal(b.e.Time) {
+			return a.e.Time.Before(b.e.Time)
+		}
+		return a.seq < b.seq
+	}
+	sortRun := func(r []stamped) {
+		sort.Slice(r, func(i, j int) bool { return less(r[i], r[j]) })
+	}
+	if runtime.GOMAXPROCS(0) > 1 && total > 4096 {
+		var wg sync.WaitGroup
+		for i := range runs {
+			if len(runs[i]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(r []stamped) {
+				defer wg.Done()
+				sortRun(r)
+			}(runs[i])
+		}
+		wg.Wait()
+	} else {
+		for i := range runs {
+			sortRun(runs[i])
+		}
+	}
+	// K-way merge by (time, seq); the shard count is small, so a
+	// linear head scan beats heap bookkeeping.
+	out := make([]Entry, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i := range runs {
+			if heads[i] >= len(runs[i]) {
+				continue
+			}
+			if best == -1 || less(runs[i][heads[i]], runs[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, runs[best][heads[best]].e)
+		heads[best]++
+	}
+	return out
+}

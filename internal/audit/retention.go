@@ -17,44 +17,70 @@ import (
 // dropped. It never drops exception-based entries younger than
 // exceptionCutoff, because undiscovered informal practice is exactly
 // what refinement still needs; pass the zero time to expire
-// uniformly.
+// uniformly. Shards are trimmed one at a time, each rebuilding its
+// incremental index under its own lock; when anything was dropped the
+// index epoch advances, invalidating outstanding Delta cursors.
 func (l *Log) Expire(cutoff, exceptionCutoff time.Time) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	kept := l.entries[:0:0]
 	dropped := 0
-	for _, e := range l.entries {
-		keep := !e.Time.Before(cutoff)
-		if !keep && e.Status == Exception && !exceptionCutoff.IsZero() && !e.Time.Before(exceptionCutoff) {
-			keep = true
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		kept := sh.entries[:0:0]
+		changed := false
+		for _, se := range sh.entries {
+			keep := !se.e.Time.Before(cutoff)
+			if !keep && se.e.Status == Exception && !exceptionCutoff.IsZero() && !se.e.Time.Before(exceptionCutoff) {
+				keep = true
+			}
+			if keep {
+				kept = append(kept, se)
+			} else {
+				dropped++
+				changed = true
+			}
 		}
-		if keep {
-			kept = append(kept, e)
-		} else {
-			dropped++
+		if changed {
+			sh.entries = kept
+			sh.rebuildLocked()
 		}
+		sh.mu.Unlock()
 	}
-	l.entries = kept
+	if dropped > 0 {
+		l.epoch.Add(1)
+	}
 	return dropped
 }
 
 // Rotate atomically returns and removes every entry older than
 // cutoff, for archival; callers typically hand the result to
-// WriteJSONL before discarding it.
+// WriteJSONL before discarding it. The rotated entries come back in
+// append order. Like Expire, a non-empty rotation advances the index
+// epoch.
 func (l *Log) Rotate(cutoff time.Time) []Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	kept := l.entries[:0:0]
-	var rotated []Entry
-	for _, e := range l.entries {
-		if e.Time.Before(cutoff) {
-			rotated = append(rotated, e)
-		} else {
-			kept = append(kept, e)
+	var rotated []stamped
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		kept := sh.entries[:0:0]
+		changed := false
+		for _, se := range sh.entries {
+			if se.e.Time.Before(cutoff) {
+				rotated = append(rotated, se)
+				changed = true
+			} else {
+				kept = append(kept, se)
+			}
 		}
+		if changed {
+			sh.entries = kept
+			sh.rebuildLocked()
+		}
+		sh.mu.Unlock()
 	}
-	l.entries = kept
-	return rotated
+	if len(rotated) == 0 {
+		return nil
+	}
+	sort.Slice(rotated, func(i, j int) bool { return rotated[i].seq < rotated[j].seq })
+	l.epoch.Add(1)
+	return unstamp(rotated)
 }
 
 // Count is a (value, count) pair used by the analysis helpers.

@@ -375,8 +375,9 @@ func (e *Enforcer) audit(p Principal, purpose, reason string, acc *Access, op au
 	clock := e.clock
 	e.mu.RUnlock()
 	now := clock()
+	batch := make([]audit.Entry, 0, len(cats))
 	for _, cat := range cats {
-		entry := audit.Entry{
+		batch = append(batch, audit.Entry{
 			Time:       now,
 			Op:         op,
 			User:       p.User,
@@ -385,10 +386,12 @@ func (e *Enforcer) audit(p Principal, purpose, reason string, acc *Access, op au
 			Authorized: p.Role,
 			Status:     status,
 			Reason:     reason,
-		}
-		if err := e.log.Append(entry); err == nil {
-			acc.Entries = append(acc.Entries, entry)
-		}
+		})
+	}
+	// One batched append: a single validation pass and one sink
+	// enqueue run per query instead of per touched category.
+	if err := e.log.Append(batch...); err == nil {
+		acc.Entries = append(acc.Entries, batch...)
 	}
 }
 

@@ -1,0 +1,64 @@
+package mining_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/mining"
+	"repro/internal/scenario"
+)
+
+// TestExtractorThroughStreamSession drives the Apriori extractor
+// through the streaming session's fallback path: mining.Extractor is
+// not index-servable, so the session must accumulate practice rows
+// via the log's Delta cursor and feed the extractor exactly what the
+// sequential session would.
+func TestExtractorThroughStreamSession(t *testing.T) {
+	if core.IndexExtractable(core.Options{Extractor: mining.Extractor{}}) {
+		t.Fatal("mining.Extractor must take the delta-fed fallback path")
+	}
+
+	v := scenario.Vocabulary()
+	opts := core.Options{MinSupport: 3, Extractor: mining.Extractor{}}
+	psSeq := scenario.PolicyStore()
+	psStream := scenario.PolicyStore()
+
+	l := audit.NewLog("s")
+	seq := core.NewSession(psSeq, v, opts)
+	stream := core.NewStreamSession(l, psStream, v, opts)
+
+	table := scenario.Table1()
+	var cumulative []audit.Entry
+	for i, chunk := range [][]audit.Entry{table[:4], table[4:7], table[7:]} {
+		cumulative = append(cumulative, chunk...)
+		if err := l.Append(chunk...); err != nil {
+			t.Fatal(err)
+		}
+		seqRound, err := seq.Run(cumulative, core.AdoptAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamRound, err := stream.Run(core.AdoptAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want, got []string
+		for _, p := range seqRound.Patterns {
+			want = append(want, p.Rule.Key())
+		}
+		for _, p := range streamRound.Patterns {
+			got = append(got, p.Rule.Key())
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk %d: stream %v, seq %v", i, got, want)
+		}
+		if streamRound.CoverageAfter != seqRound.CoverageAfter {
+			t.Fatalf("chunk %d coverage: %v vs %v", i, streamRound.CoverageAfter, seqRound.CoverageAfter)
+		}
+	}
+	if psStream.Len() != psSeq.Len() {
+		t.Fatalf("policies diverge: %d vs %d rules", psStream.Len(), psSeq.Len())
+	}
+}

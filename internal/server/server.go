@@ -459,7 +459,11 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("server: GET required"))
 		return
 	}
-	entries := s.sys.AuditLog().Snapshot()
+	l := s.sys.AuditLog()
+	entries := l.Snapshot()
+	// The unfiltered stats come from the log's incremental index;
+	// filtered views still summarize the subset they return.
+	stats := l.Summary()
 	if r.URL.Query().Get("status") == "exception" {
 		var kept []audit.Entry
 		for _, e := range entries {
@@ -468,6 +472,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		entries = kept
+		stats = audit.Summarize(entries)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"entries": entries, "stats": audit.Summarize(entries)})
+	writeJSON(w, http.StatusOK, map[string]any{"entries": entries, "stats": stats})
 }

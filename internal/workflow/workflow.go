@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
@@ -100,6 +101,25 @@ type Simulator struct {
 	cfg    Config
 	rng    *rand.Rand
 	byRole map[string][]string // role -> user names
+	// behaviors is informal followed by violations with their ground
+	// rules and staff pools resolved once, so the per-event path does
+	// no rule construction or roster lookups.
+	behaviors []behaviorState
+	// ranges caches the policy's expanded range across Run calls; the
+	// cache revalidates against Policy.Version, so adopting refined
+	// rules between runs still relabels subsequent traffic.
+	ranges *policy.RangeCache
+	// sortKeys and sortScratch are the per-day sort buffers, kept on
+	// the simulator so successive runs reuse them.
+	sortKeys    []uint64
+	sortScratch []audit.Entry
+}
+
+// behaviorState is a Behavior plus its run-invariant derivations.
+type behaviorState struct {
+	Behavior
+	rule policy.Rule
+	pool []string
 }
 
 // New validates the configuration and builds a simulator.
@@ -117,6 +137,7 @@ func New(cfg Config) (*Simulator, error) {
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		byRole: make(map[string][]string),
+		ranges: policy.NewRangeCache(),
 	}
 	for _, st := range cfg.Staff {
 		if st.Name == "" || st.Role == "" {
@@ -128,9 +149,14 @@ func New(cfg Config) (*Simulator, error) {
 		if b.PerDay <= 0 {
 			return nil, fmt.Errorf("workflow: behaviour %s has non-positive rate", b.Rule())
 		}
-		if len(b.Users) == 0 && len(s.byRole[vocab.Norm(b.Role)]) == 0 {
+		pool := b.Users
+		if len(pool) == 0 {
+			pool = s.byRole[vocab.Norm(b.Role)]
+		}
+		if len(pool) == 0 {
 			return nil, fmt.Errorf("workflow: behaviour %s has no eligible staff", b.Rule())
 		}
+		s.behaviors = append(s.behaviors, behaviorState{Behavior: b, rule: b.Rule(), pool: pool})
 	}
 	return s, nil
 }
@@ -155,81 +181,136 @@ func (s *Simulator) GroundTruth() (informal, violations []policy.Rule) {
 // into regular accesses — exactly the paper's "gradually and
 // seamlessly embed privacy controls".
 func (s *Simulator) Run(startDay, days int) ([]audit.Entry, error) {
-	rg, err := policy.NewRange(s.cfg.Policy, s.cfg.Vocab, 0)
+	return s.RunInto(nil, startDay, days)
+}
+
+// RunInto is Run in the append style: generated entries are appended
+// to dst (which may be nil) and the extended slice is returned, so a
+// caller draining epochs into a log can recycle one buffer instead of
+// allocating a fresh slice per run.
+func (s *Simulator) RunInto(dst []audit.Entry, startDay, days int) ([]audit.Entry, error) {
+	rg, err := s.ranges.Range(s.cfg.Policy, s.cfg.Vocab, 0)
 	if err != nil {
 		return nil, fmt.Errorf("workflow: policy range: %w", err)
 	}
 	docRules := rg.Rules()
-	var entries []audit.Entry
+	// Resolve the per-rule event shape (triple values, staff pool,
+	// range membership) once per run: all of it is invariant while the
+	// policy version is fixed, so the per-event path reduces to RNG
+	// draws and an append.
+	docs := make([]emitter, len(docRules))
+	for i, r := range docRules {
+		docs[i] = s.emitterFor(r, nil, rg)
+	}
+	acts := make([]emitter, len(s.behaviors))
+	perDay := s.cfg.DocumentedPerDay
+	for i := range s.behaviors {
+		acts[i] = s.emitterFor(s.behaviors[i].rule, s.behaviors[i].pool, rg)
+		perDay += s.behaviors[i].PerDay
+	}
+	entries := slices.Grow(dst, int(perDay*float64(days)*5/4)+16)
 
 	for day := startDay; day < startDay+days; day++ {
 		dayStart := s.cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+		mark := len(entries)
 
 		// Documented, policy-covered accesses.
 		if s.cfg.DocumentedPerDay > 0 && len(docRules) > 0 {
 			n := s.poisson(s.cfg.DocumentedPerDay)
 			for i := 0; i < n; i++ {
-				r := docRules[s.rng.Intn(len(docRules))]
-				e, err := s.event(dayStart, r, nil, false, rg)
-				if err != nil {
+				em := &docs[s.rng.Intn(len(docs))]
+				if len(em.pool) == 0 {
 					continue // no staff for that role: skip the draw
 				}
-				entries = append(entries, e)
+				entries = append(entries, s.emit(em, dayStart, false))
 			}
 		}
 		// Informal practices and violations use the same generator;
 		// their differing shapes (rates, user pools) are the signal.
-		for _, b := range append(append([]Behavior{}, s.cfg.Informal...), s.cfg.Violations...) {
+		for bi := range s.behaviors {
+			b := &s.behaviors[bi]
 			if !b.activeOn(day) {
 				continue
 			}
 			n := s.poisson(b.PerDay)
 			for i := 0; i < n; i++ {
-				e, err := s.event(dayStart, b.Rule(), b.Users, b.OffHours, rg)
-				if err != nil {
-					return nil, err
-				}
-				entries = append(entries, e)
+				entries = append(entries, s.emit(&acts[bi], dayStart, b.OffHours))
 			}
 		}
+		// Every event lands inside its own day (off-hours draws wrap
+		// 24:00–06:00 back onto the same date), so sorting each day's
+		// suffix in place is the global chronological stable sort.
+		s.sortKeys, s.sortScratch = sortDay(entries[mark:], dayStart, s.sortKeys, s.sortScratch)
 	}
-	audit.SortByTime(entries)
 	return entries, nil
 }
 
-// event materializes one access for rule at a random moment of the
-// day (or night, for off-hours behaviours), labelling its status
-// against the policy range.
-func (s *Simulator) event(dayStart time.Time, r policy.Rule, users []string, offHours bool, rg *policy.Range) (audit.Entry, error) {
+// sortDay chronologically orders one day's entries, stable in the
+// emission order. Each key packs (second-of-day, emission index) into
+// one integer, so a plain integer sort replaces a stable sort that
+// would shuffle the wide Entry structs O(n log n) times. The buffers
+// are returned for reuse across days.
+func sortDay(entries []audit.Entry, dayStart time.Time, keys []uint64, scratch []audit.Entry) ([]uint64, []audit.Entry) {
+	if len(entries) < 2 {
+		return keys, scratch
+	}
+	keys = keys[:0]
+	for i, e := range entries {
+		keys = append(keys, uint64(e.Time.Sub(dayStart)/time.Second)<<32|uint64(i))
+	}
+	slices.Sort(keys)
+	scratch = append(scratch[:0], entries...)
+	for i, k := range keys {
+		entries[i] = scratch[k&0xffffffff]
+	}
+	return keys, scratch
+}
+
+// emitter is the run-invariant shape of one event source: the
+// normalized triple, the eligible staff pool and the status label the
+// current policy range assigns it.
+type emitter struct {
+	data, purpose, role string
+	pool                []string
+	status              audit.Status
+}
+
+// emitterFor labels the rule against the policy range and resolves
+// its staff pool (an explicit user list, or the roster slice for the
+// rule's role).
+func (s *Simulator) emitterFor(r policy.Rule, pool []string, rg *policy.Range) emitter {
 	role, _ := r.Value("authorized")
-	pool := users
+	data, _ := r.Value("data")
+	purpose, _ := r.Value("purpose")
 	if len(pool) == 0 {
 		pool = s.byRole[vocab.Norm(role)]
 	}
-	if len(pool) == 0 {
-		return audit.Entry{}, fmt.Errorf("workflow: no staff for role %q", role)
-	}
-	user := pool[s.rng.Intn(len(pool))]
-	data, _ := r.Value("data")
-	purpose, _ := r.Value("purpose")
 	status := audit.Exception
 	if rg.Contains(r) {
 		status = audit.Regular
 	}
+	return emitter{data: data, purpose: purpose, role: role, pool: pool, status: status}
+}
+
+// emit materializes one access for the emitter at a random moment of
+// the day (or night, for off-hours behaviours). The pool must be
+// non-empty; the two RNG draws (user, then second-of-day) match the
+// original per-event generator so seeded traces are unchanged.
+func (s *Simulator) emit(em *emitter, dayStart time.Time, offHours bool) audit.Entry {
+	user := em.pool[s.rng.Intn(len(em.pool))]
 	secOfDay := 6*3600 + s.rng.Intn(12*3600) // 06:00–18:00
 	if offHours {
 		secOfDay = (18*3600 + s.rng.Intn(12*3600)) % (24 * 3600) // 18:00–06:00
 	}
-	at := dayStart.Add(time.Duration(secOfDay) * time.Second)
 	return audit.Entry{
-		Time:       at,
+		Time:       dayStart.Add(time.Duration(secOfDay) * time.Second),
 		Op:         audit.Allow,
 		User:       user,
-		Data:       data,
-		Purpose:    purpose,
-		Authorized: role,
-		Status:     status,
-	}, nil
+		Data:       em.data,
+		Purpose:    em.purpose,
+		Authorized: em.role,
+		Status:     em.status,
+	}
 }
 
 // poisson draws from Poisson(lambda) by Knuth's method; adequate for

@@ -43,7 +43,7 @@ type System struct {
 	log      *audit.Log
 	enforcer *hdb.Enforcer
 	control  *hdb.ControlCenter
-	session  *core.Session
+	session  *core.StreamSession
 }
 
 // New assembles a System from the config.
@@ -68,7 +68,7 @@ func New(cfg Config) *System {
 		log:      log,
 		enforcer: enf,
 		control:  hdb.NewControlCenter(enf, cs),
-		session:  core.NewSession(ps, v, cfg.Refine),
+		session:  core.NewStreamSession(log, ps, v, cfg.Refine),
 	}
 }
 
@@ -133,32 +133,38 @@ func (s *System) Coverage() (*CoverageReport, error) {
 }
 
 // EntryCoverage computes row-level coverage over the audit log (the
-// paper's §5 counting).
+// paper's §5 counting), served from the log's incremental per-rule
+// index in O(groups). Use core.EntryCoverage over a Snapshot when the
+// uncovered rows themselves are needed (WriteReport does).
 func (s *System) EntryCoverage() (*EntryCoverageReport, error) {
-	return core.EntryCoverage(s.ps, s.log.Snapshot(), s.vocab)
+	return core.GroupCoverage(s.ps, s.log.Groups(), s.vocab)
 }
 
 // Patterns runs refinement (Algorithm 2) over the audit log without
-// adopting anything.
+// adopting anything; the analysis is served from the incremental
+// index when the session options allow it.
 func (s *System) Patterns() ([]Pattern, error) {
-	return core.Refinement(s.ps, s.log.Snapshot(), s.vocab, s.session.Opts)
+	return core.RefineFromLog(s.ps, s.log, s.vocab, s.session.Opts)
 }
 
 // PatternEvidence runs refinement and annotates each useful pattern
 // with its behavioural evidence, sorted safest-first.
 func (s *System) PatternEvidence() ([]PatternEvidence, error) {
-	entries := s.log.Snapshot()
-	patterns, err := core.Refinement(s.ps, entries, s.vocab, s.session.Opts)
+	patterns, err := core.RefineFromLog(s.ps, s.log, s.vocab, s.session.Opts)
 	if err != nil {
 		return nil, err
 	}
-	return core.AnnotatePatterns(core.Filter(entries), patterns), nil
+	// Annotation needs the raw practice rows, so this path still
+	// materializes a snapshot.
+	return core.AnnotatePatterns(core.Filter(s.log.Snapshot()), patterns), nil
 }
 
 // RunRefinement performs one reviewed refinement round over the audit
-// log; adopted patterns take effect on subsequent queries.
+// log; adopted patterns take effect on subsequent queries. The round
+// is served from the log's incremental index (O(groups) per round)
+// rather than a full snapshot rescan.
 func (s *System) RunRefinement(reviewer Reviewer) (Round, error) {
-	return s.session.Run(s.log.Snapshot(), reviewer)
+	return s.session.Run(reviewer)
 }
 
 // RefinementHistory returns the recorded rounds.
