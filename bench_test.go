@@ -12,13 +12,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/consent"
 	"repro/internal/core"
+	"repro/internal/hdb"
 	"repro/internal/minidb"
 	"repro/internal/mining"
 	"repro/internal/policy"
@@ -898,6 +901,177 @@ func BenchmarkE11_IncrementalRefinement(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// ---- E12: enforced query throughput on the compiled fast path ----
+
+// qpsSystem is the E12/E13 fixture: a small clinical table, so the
+// measurement sits in the per-query enforcement hot loop (point
+// queries from a clinical UI) rather than in table-scan throughput.
+func qpsSystem(b *testing.B) *System {
+	b.Helper()
+	sys := New(Config{Policy: scenario.PolicyStore()})
+	sys.DB().MustExec(`CREATE TABLE records (patient TEXT, referral TEXT, psychiatry TEXT)`)
+	for i := 0; i < 8; i++ {
+		sys.DB().MustExec(fmt.Sprintf(
+			`INSERT INTO records VALUES ('p%d', 'consult %d', 'note %d')`, i, i, i))
+	}
+	if err := sys.RegisterTable(TableMapping{
+		Table: "records", PatientCol: "patient",
+		Categories: map[string]string{"referral": "referral", "psychiatry": "psychiatry"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkE12_EnforcedQPS measures the per-query enforcement hot
+// loop: the reference interpreter (slowpath), the compiled path with
+// a cold plan cache (cold — plans and snapshot flushed every
+// iteration), and the steady state (warm), each with and without
+// consent filtering in play. The decision/* pair isolates the
+// enforcement decision layer itself (no audit log, LIMIT 0 execution)
+// — that is where the compiled snapshot pays off hardest, since
+// statement execution and audit append are identical on both paths.
+func BenchmarkE12_EnforcedQPS(b *testing.B) {
+	const sql = `SELECT patient, referral, psychiatry FROM records WHERE patient <> 'p0'`
+	run := func(b *testing.B, sys *System, flush bool) {
+		b.Helper()
+		// Prime caches (a no-op for the slow path) so "warm" measures
+		// the steady state.
+		if _, _, err := sys.Query("tim", "nurse", "treatment", sql); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if flush {
+				sys.Enforcer().FlushPlans()
+			}
+			if _, _, err := sys.Query("tim", "nurse", "treatment", sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("slowpath", func(b *testing.B) {
+		sys := qpsSystem(b)
+		sys.SetEnforcementFastPath(false)
+		run(b, sys, false)
+	})
+	b.Run("cold", func(b *testing.B) {
+		run(b, qpsSystem(b), true)
+	})
+	b.Run("warm", func(b *testing.B) {
+		run(b, qpsSystem(b), false)
+	})
+	b.Run("slowpath+consent", func(b *testing.B) {
+		sys := qpsSystem(b)
+		sys.SetEnforcementFastPath(false)
+		if err := sys.SetConsent("p1", "clinical", "", OptOut, time.Now()); err != nil {
+			b.Fatal(err)
+		}
+		run(b, sys, false)
+	})
+	b.Run("warm+consent", func(b *testing.B) {
+		sys := qpsSystem(b)
+		if err := sys.SetConsent("p1", "clinical", "", OptOut, time.Now()); err != nil {
+			b.Fatal(err)
+		}
+		run(b, sys, false)
+	})
+
+	// Decision layer in isolation: nil audit log and a LIMIT 0
+	// statement reduce the shared tail (execution + audit) to its
+	// floor, leaving parse + category analysis + policy/consent
+	// decisions as the measured quantity.
+	decide := func(b *testing.B, fast bool) {
+		b.Helper()
+		const dsql = `SELECT patient, referral, psychiatry FROM records LIMIT 0`
+		db := minidb.NewDatabase()
+		db.MustExec(`CREATE TABLE records (patient TEXT, referral TEXT, psychiatry TEXT)`)
+		db.MustExec(`INSERT INTO records VALUES ('p1', 'consult', 'note')`)
+		v := vocab.Sample()
+		enf := hdb.New(db, scenario.PolicyStore(), v, consent.NewStore(v, true), nil)
+		if err := enf.RegisterTable(hdb.TableMapping{
+			Table: "records", PatientCol: "patient",
+			Categories: map[string]string{"referral": "referral", "psychiatry": "psychiatry"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		enf.SetFastPath(fast)
+		p := hdb.Principal{User: "tim", Role: "nurse"}
+		if _, _, err := enf.Query(p, "treatment", dsql); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := enf.Query(p, "treatment", dsql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("decision/slowpath", func(b *testing.B) { decide(b, false) })
+	b.Run("decision/warm", func(b *testing.B) { decide(b, true) })
+}
+
+// ---- E13: fast-path scaling under concurrent mutation ----
+
+// BenchmarkE13_ConcurrentEnforcement drives parallel enforced queries
+// at GOMAXPROCS 1, 4 and 8 while a background writer churns the
+// policy store and the consent registry (invalidating the RCU
+// decision snapshot a few thousand times per second). Readers take no
+// locks, so only the audit stripes and snapshot rebuilds are shared;
+// each worker queries as its own clinician, which distributes the
+// audit appends across stripes the way real traffic does. On a
+// multi-core host the target is near-linear scaling to 4 cores; on a
+// single-core host (the recorded BENCH_5.json run) the useful signal
+// is that ns/op stays flat as GOMAXPROCS oversubscribes — contention
+// does not collapse throughput.
+func BenchmarkE13_ConcurrentEnforcement(b *testing.B) {
+	const sql = `SELECT patient, referral, psychiatry FROM records WHERE patient <> 'p0'`
+	churn := policy.MustRule(
+		policy.T("data", "payment_history"),
+		policy.T("purpose", "billing"),
+		policy.T("authorized", "manager"),
+	)
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			sys := qpsSystem(b)
+			if _, _, err := sys.Query("tim", "nurse", "treatment", sql); err != nil {
+				b.Fatal(err)
+			}
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					sys.PolicyStore().Add(churn)
+					sys.PolicyStore().Remove(churn)
+					_ = sys.SetConsent("p9", "payment_history", "", OptOut, time.Now())
+					sys.RevokeConsent("p9")
+					time.Sleep(200 * time.Microsecond)
+				}
+			}()
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				user := fmt.Sprintf("clin%d", worker.Add(1))
+				for pb.Next() {
+					if _, _, err := sys.Query(user, "nurse", "treatment", sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			stop.Store(true)
+			wg.Wait()
 		})
 	}
 }

@@ -130,6 +130,15 @@ func checkVersionBump(p *Package, fd *ast.FuncDecl, recv string, ms *mutexStruct
 				break
 			}
 			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				// An atomic counter bumps through a mutating method
+				// call (p.version.Add(1), p.version.Store(n)) rather
+				// than an assignment or IncDec. Read-only calls
+				// (Load) do not count as a bump.
+				if name, ok := recvField(sel.X, recv, ms); ok && name == "version" &&
+					atomicWriteMethod(sel.Sel.Name) {
+					bumpsVersion = true
+					break
+				}
 				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv &&
 					!ms.fields[sel.Sel.Name] && !ms.mutexes[sel.Sel.Name] {
 					delegates = true
@@ -268,6 +277,16 @@ func markWrites(body *ast.BlockStmt, recv string, ms *mutexStruct) {
 
 // recvField matches recv.field (or recv.field[i], recv.field.x) and
 // returns the outermost struct field name.
+// atomicWriteMethod recognizes the mutating methods of the sync/atomic
+// value types; rule 4 accepts them as version bumps.
+func atomicWriteMethod(name string) bool {
+	switch name {
+	case "Add", "Store", "Swap", "CompareAndSwap", "Or", "And":
+		return true
+	}
+	return false
+}
+
 func recvField(e ast.Expr, recv string, ms *mutexStruct) (string, bool) {
 	for {
 		switch x := e.(type) {

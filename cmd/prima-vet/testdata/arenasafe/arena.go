@@ -3,6 +3,8 @@
 // may follow its publication (store, return, capture, send).
 package arenasafe
 
+import "sync/atomic"
+
 // Box is immutable after publication.
 //
 // prima:arena
@@ -45,4 +47,40 @@ func refresh() *Box {
 	b = &Box{}
 	b.n = 3
 	return b
+}
+
+// Snapshot mimics the enforcement decision snapshot: built privately,
+// published through an atomic pointer with RCU semantics, immutable
+// afterwards.
+//
+// prima:arena
+type Snapshot struct {
+	version uint64
+	bits    []uint64
+}
+
+var current atomic.Pointer[Snapshot]
+
+// publishBad stores the snapshot for lock-free readers and then keeps
+// compiling into it — readers observe a torn snapshot.
+func publishBad(v uint64) {
+	s := &Snapshot{version: v}
+	current.Store(s)
+	s.bits = append(s.bits, 1) // want arenasafe "mutated after publication"
+}
+
+// publishGood freezes the snapshot before the RCU swap.
+func publishGood(v uint64) {
+	s := &Snapshot{version: v}
+	s.bits = append(s.bits, 1)
+	current.Store(s)
+}
+
+// republish swaps in a rebuilt snapshot; the stale one is never
+// written again, only dropped for readers to drain.
+func republish(v uint64) {
+	s := &Snapshot{version: v}
+	s.bits = append(s.bits, 1)
+	old := current.Swap(s)
+	_ = old
 }

@@ -1,6 +1,9 @@
 package lockfix
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Store pairs its mutex with a version counter, opting into the
 // version-bump discipline (lockcheck rule 4): caches validate derived
@@ -58,4 +61,40 @@ func (s *Store) Version() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.version
+}
+
+// CounterStore pairs its mutex with an atomic version counter — the
+// lock-free-read variant of the discipline: mutations happen under
+// the lock, but the counter itself bumps through sync/atomic so
+// validity probes need no lock.
+type CounterStore struct {
+	mu      sync.RWMutex
+	items   []string
+	version atomic.Uint64
+}
+
+// Put bumps through the atomic method; rule 4 accepts Add/Store as a
+// version write.
+func (s *CounterStore) Put(item string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, item)
+	s.version.Add(1)
+}
+
+// Clear forgets the bump: caches keyed on the counter would serve the
+// cleared items forever.
+func (s *CounterStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = s.items[:0] // want lockcheck "without bumping version"
+}
+
+// Peek only loads the counter; a read-only atomic call is not a bump,
+// so the guarded write is still flagged.
+func (s *CounterStore) Peek(item string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, item) // want lockcheck "without bumping version"
+	return s.version.Load()
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/vocab"
@@ -58,13 +59,47 @@ type Store struct {
 	// applies. HIPAA treatment/payment/operations default to allowed.
 	defaultAllow bool
 	byPatient    map[string][]record
+	// optOuts counts the OptOut records ever stored per patient (not
+	// expiry-adjusted — a superset is enough). Under defaultAllow only
+	// these patients can be denied, so OptedOut scans this candidate
+	// set instead of every recorded choice in the store.
+	optOuts map[string]int
+	// inv memoizes OptedOut results per normalized (data, purpose),
+	// valid while gen is unchanged and no candidate record expires.
+	// Bounded by invCacheMax with wholesale drop, like
+	// policy.RangeCache.
+	inv map[invKey]invEntry
+	// gen counts mutations (Set/SetWithExpiry/Revoke). Read lock-free
+	// by the enforcement decision snapshot and the inv cache.
+	gen atomic.Uint64
 }
+
+// invKey identifies one inverted-index entry.
+type invKey struct{ data, purpose string }
+
+// invEntry is a memoized OptedOut result.
+type invEntry struct {
+	gen      uint64    // store generation the entry was computed at
+	at       time.Time // instant the entry was computed for
+	horizon  time.Time // earliest candidate expiry after at; zero = none
+	patients []string  // sorted; never mutated after install
+}
+
+// invCacheMax bounds the inverted index; on overflow the whole map is
+// dropped and rebuilt on demand.
+const invCacheMax = 1024
 
 // NewStore builds a consent store over the given vocabulary.
 // defaultAllow selects the behaviour when a patient has recorded no
 // applicable choice.
 func NewStore(v *vocab.Vocabulary, defaultAllow bool) *Store {
-	return &Store{v: v, defaultAllow: defaultAllow, byPatient: make(map[string][]record)}
+	return &Store{
+		v:            v,
+		defaultAllow: defaultAllow,
+		byPatient:    make(map[string][]record),
+		optOuts:      make(map[string]int),
+		inv:          make(map[invKey]invEntry),
+	}
 }
 
 // Set records a choice for patient over (data, purpose). Empty data
@@ -97,6 +132,10 @@ func (s *Store) SetWithExpiry(patient, data, purpose string, choice Choice, at, 
 		at:      at,
 		expires: expires,
 	})
+	if choice == OptOut {
+		s.optOuts[key]++
+	}
+	s.gen.Add(1)
 	return nil
 }
 
@@ -107,8 +146,20 @@ func (s *Store) Revoke(patient string) int {
 	defer s.mu.Unlock()
 	key := vocab.Norm(patient)
 	n := len(s.byPatient[key])
+	if n == 0 {
+		return 0
+	}
 	delete(s.byPatient, key)
+	delete(s.optOuts, key)
+	s.gen.Add(1)
 	return n
+}
+
+// Generation returns the store mutation counter: it increases on every
+// Set/SetWithExpiry/Revoke, so derived artifacts (the inverted index,
+// the enforcement decision snapshot) validate with one lock-free load.
+func (s *Store) Generation() uint64 {
+	return s.gen.Load()
 }
 
 // Decision explains a consent check.
@@ -135,7 +186,12 @@ func (s *Store) Check(patient, data, purpose string) Decision {
 func (s *Store) CheckAt(patient, data, purpose string, now time.Time) Decision {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	recs := s.byPatient[vocab.Norm(patient)]
+	return s.decideLocked(s.byPatient[vocab.Norm(patient)], data, purpose, now)
+}
+
+// decideLocked applies the CheckAt decision procedure to one patient's
+// records. Callers hold s.mu (read or write).
+func (s *Store) decideLocked(recs []record, data, purpose string, now time.Time) Decision {
 	best := -1
 	bestSpec := -1
 	for i, r := range recs {
@@ -200,22 +256,108 @@ func (s *Store) Patients() []string {
 }
 
 // OptedOut returns the patients whose recorded choices deny the given
-// (data, purpose) access; the enforcement layer uses this to rewrite
-// queries with a patient exclusion predicate.
+// (data, purpose) access as of now; the enforcement layer uses this to
+// rewrite queries with a patient exclusion predicate.
 func (s *Store) OptedOut(data, purpose string) []string {
+	return s.OptedOutAt(data, purpose, time.Now())
+}
+
+// OptedOutAt is OptedOut at instant now. Results are served from an
+// incrementally invalidated inverted index: an entry computed at
+// generation g for instant t stays valid until the store mutates or a
+// candidate record expires, so the common case is a map probe plus a
+// copy of the cached (sorted) patient list rather than a rescan of
+// every recorded choice.
+func (s *Store) OptedOutAt(data, purpose string, now time.Time) []string {
+	key := invKey{data: vocab.Norm(data), purpose: vocab.Norm(purpose)}
+
 	s.mu.RLock()
-	patients := make([]string, 0, len(s.byPatient))
-	for p := range s.byPatient {
-		patients = append(patients, p)
+	e, ok := s.inv[key]
+	if ok && s.invValidLocked(e, now) {
+		out := append([]string(nil), e.patients...)
+		s.mu.RUnlock()
+		return out
 	}
 	s.mu.RUnlock()
 
-	var out []string
-	for _, p := range patients {
-		if !s.Allowed(p, data, purpose) {
-			out = append(out, p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Another goroutine may have filled the entry while the lock was
+	// dropped.
+	if e, ok := s.inv[key]; ok && s.invValidLocked(e, now) {
+		return append([]string(nil), e.patients...)
+	}
+	e = s.rebuildInvLocked(key, now)
+	if len(s.inv) >= invCacheMax {
+		s.inv = make(map[invKey]invEntry)
+	}
+	s.inv[key] = e
+	return append([]string(nil), e.patients...)
+}
+
+// invValidLocked reports whether entry e still answers for instant
+// now: the store is unmutated, now has not moved before the entry's
+// computation instant, and no candidate record has expired since.
+func (s *Store) invValidLocked(e invEntry, now time.Time) bool {
+	if e.gen != s.gen.Load() || now.Before(e.at) {
+		return false
+	}
+	// A record is still active at its exact expiry instant (CheckAt
+	// expires with now.After), so the entry answers up to and
+	// including the horizon.
+	return e.horizon.IsZero() || !now.After(e.horizon)
+}
+
+// rebuildInvLocked recomputes one inverted-index entry. Only candidate
+// patients are scanned: under defaultAllow a patient without any
+// OptOut record can never be denied; under defaultDeny every recorded
+// patient is a candidate (patients with no records at all are not
+// enumerable and are excluded by the OptedOut contract).
+func (s *Store) rebuildInvLocked(key invKey, now time.Time) invEntry {
+	e := invEntry{gen: s.gen.Load(), at: now}
+	scan := func(patient string, recs []record) {
+		for _, r := range recs {
+			// expires == now still decides "active", so it bounds the
+			// entry (the decision flips just after that instant).
+			if !r.expires.IsZero() && !r.expires.Before(now) &&
+				(e.horizon.IsZero() || r.expires.Before(e.horizon)) {
+				e.horizon = r.expires
+			}
+		}
+		if !s.decideLocked(recs, key.data, key.purpose, now).Allowed {
+			e.patients = append(e.patients, patient)
 		}
 	}
-	sort.Strings(out)
-	return out
+	if s.defaultAllow {
+		for patient := range s.optOuts {
+			scan(patient, s.byPatient[patient])
+		}
+	} else {
+		for patient, recs := range s.byPatient {
+			scan(patient, recs)
+		}
+	}
+	sort.Strings(e.patients)
+	return e
+}
+
+// ExpiryHorizon returns the earliest record expiry at or after now
+// across every stored choice, or the zero time when no such expiry
+// exists. The enforcement decision snapshot uses it to bound its own
+// validity: up to and including the horizon, no consent decision can
+// change without a store mutation (records are active at their exact
+// expiry instant and lapse just after it).
+func (s *Store) ExpiryHorizon(now time.Time) time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var horizon time.Time
+	for _, recs := range s.byPatient {
+		for _, r := range recs {
+			if !r.expires.IsZero() && !r.expires.Before(now) &&
+				(horizon.IsZero() || r.expires.Before(horizon)) {
+				horizon = r.expires
+			}
+		}
+	}
+	return horizon
 }

@@ -1,0 +1,209 @@
+package consent
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestOptedOutExpiryBoundary(t *testing.T) {
+	s := store(t, true)
+	exp := t0.Add(time.Hour)
+	if err := s.SetWithExpiry("p1", "psychiatry", "", OptOut, t0, exp); err != nil {
+		t.Fatal(err)
+	}
+	// A record is active up to and including its exact expiry instant
+	// and lapses just after it; the inverted index must agree with
+	// CheckAt at every boundary.
+	cases := []struct {
+		now  time.Time
+		want []string
+	}{
+		{exp.Add(-time.Second), []string{"p1"}},
+		{exp, []string{"p1"}},
+		{exp.Add(time.Nanosecond), nil},
+		{exp.Add(time.Hour), nil},
+	}
+	for _, c := range cases {
+		got := s.OptedOutAt("psychiatry", "treatment", c.now)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("OptedOutAt(now=%v) = %v, want %v", c.now, got, c.want)
+		}
+		d := s.CheckAt("p1", "psychiatry", "treatment", c.now)
+		if d.Allowed != (len(c.want) == 0) {
+			t.Errorf("CheckAt(now=%v).Allowed = %v, disagrees with inverted index", c.now, d.Allowed)
+		}
+	}
+}
+
+func TestOptedOutHorizonInvalidation(t *testing.T) {
+	s := store(t, true)
+	exp := t0.Add(time.Hour)
+	if err := s.SetWithExpiry("p1", "referral", "billing", OptOut, t0, exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("p2", "referral", "", OptOut, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache well inside the validity window, then step past
+	// the horizon without mutating the store: the entry must lapse on
+	// time alone.
+	got := s.OptedOutAt("referral", "billing", t0.Add(time.Minute))
+	if !reflect.DeepEqual(got, []string{"p1", "p2"}) {
+		t.Fatalf("warm read = %v", got)
+	}
+	got = s.OptedOutAt("referral", "billing", exp.Add(time.Second))
+	if !reflect.DeepEqual(got, []string{"p2"}) {
+		t.Errorf("post-horizon read = %v, expired record still applied", got)
+	}
+	// Re-reading inside the window again (clock regression relative to
+	// the cached entry) must not serve the newer entry.
+	got = s.OptedOutAt("referral", "billing", t0.Add(2*time.Minute))
+	if !reflect.DeepEqual(got, []string{"p1", "p2"}) {
+		t.Errorf("in-window re-read = %v", got)
+	}
+}
+
+func TestOptedOutMutationInvalidation(t *testing.T) {
+	s := store(t, true)
+	if err := s.Set("p1", "psychiatry", "", OptOut, t0); err != nil {
+		t.Fatal(err)
+	}
+	now := t0.Add(time.Minute)
+	if got := s.OptedOutAt("psychiatry", "research", now); !reflect.DeepEqual(got, []string{"p1"}) {
+		t.Fatalf("seed read = %v", got)
+	}
+	// A later, equally-specific opt-in flips the decision; the cached
+	// entry must be invalidated by the generation bump.
+	if err := s.Set("p1", "psychiatry", "", OptIn, t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OptedOutAt("psychiatry", "research", now); len(got) != 0 {
+		t.Errorf("post-opt-in read = %v, stale entry served", got)
+	}
+}
+
+func TestOptedOutRevocation(t *testing.T) {
+	s := store(t, true)
+	if err := s.Set("p1", "psychiatry", "", OptOut, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("p2", "psychiatry", "research", OptOut, t0); err != nil {
+		t.Fatal(err)
+	}
+	now := t0.Add(time.Minute)
+	if got := s.OptedOutAt("psychiatry", "research", now); !reflect.DeepEqual(got, []string{"p1", "p2"}) {
+		t.Fatalf("seed read = %v", got)
+	}
+	if n := s.Revoke("p1"); n != 1 {
+		t.Fatalf("Revoke = %d", n)
+	}
+	if got := s.OptedOutAt("psychiatry", "research", now); !reflect.DeepEqual(got, []string{"p2"}) {
+		t.Errorf("post-revoke read = %v, revoked patient still indexed", got)
+	}
+	// Revoking a patient with no records is a no-op and must not bump
+	// the generation (derived caches stay valid).
+	g := s.Generation()
+	if n := s.Revoke("ghost"); n != 0 {
+		t.Fatalf("Revoke(ghost) = %d", n)
+	}
+	if s.Generation() != g {
+		t.Error("no-op Revoke bumped the generation")
+	}
+}
+
+func TestOptedOutDefaultDeny(t *testing.T) {
+	s := store(t, false)
+	// p1 opted in for exactly this pair; p2 recorded an unrelated
+	// choice, so the store default (deny) applies to p2.
+	if err := s.Set("p1", "psychiatry", "research", OptIn, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("p2", "address", "billing", OptIn, t0); err != nil {
+		t.Fatal(err)
+	}
+	got := s.OptedOutAt("psychiatry", "research", t0.Add(time.Minute))
+	if !reflect.DeepEqual(got, []string{"p2"}) {
+		t.Errorf("OptedOut under default-deny = %v, want [p2]", got)
+	}
+}
+
+func TestOptedOutCacheBound(t *testing.T) {
+	s := store(t, true)
+	if err := s.Set("p1", "", "", OptOut, t0); err != nil {
+		t.Fatal(err)
+	}
+	now := t0.Add(time.Minute)
+	// Overflow the inverted index; the wholesale drop must not change
+	// answers.
+	for i := 0; i < invCacheMax+8; i++ {
+		s.OptedOutAt(fmt.Sprintf("cat%d", i), "treatment", now)
+	}
+	if got := s.OptedOutAt("referral", "treatment", now); !reflect.DeepEqual(got, []string{"p1"}) {
+		t.Errorf("post-overflow read = %v", got)
+	}
+}
+
+func TestExpiryHorizon(t *testing.T) {
+	s := store(t, true)
+	if h := s.ExpiryHorizon(t0); !h.IsZero() {
+		t.Errorf("empty store horizon = %v", h)
+	}
+	if err := s.Set("p1", "referral", "", OptOut, t0); err != nil { // no expiry
+		t.Fatal(err)
+	}
+	if h := s.ExpiryHorizon(t0); !h.IsZero() {
+		t.Errorf("unexpiring record horizon = %v", h)
+	}
+	e1, e2 := t0.Add(time.Hour), t0.Add(2*time.Hour)
+	if err := s.SetWithExpiry("p2", "address", "", OptOut, t0, e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetWithExpiry("p3", "psychiatry", "", OptOut, t0, e1); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.ExpiryHorizon(t0); !h.Equal(e1) {
+		t.Errorf("horizon = %v, want %v", h, e1)
+	}
+	// A record still counts at its exact expiry instant, and drops out
+	// just after, promoting the next expiry.
+	if h := s.ExpiryHorizon(e1); !h.Equal(e1) {
+		t.Errorf("horizon at e1 = %v, want %v", h, e1)
+	}
+	if h := s.ExpiryHorizon(e1.Add(time.Nanosecond)); !h.Equal(e2) {
+		t.Errorf("horizon past e1 = %v, want %v", h, e2)
+	}
+	if h := s.ExpiryHorizon(e2.Add(time.Nanosecond)); !h.IsZero() {
+		t.Errorf("horizon past e2 = %v, want zero", h)
+	}
+}
+
+func TestGenerationCounts(t *testing.T) {
+	s := store(t, true)
+	g0 := s.Generation()
+	if err := s.Set("p1", "referral", "", OptOut, t0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != g0+1 {
+		t.Errorf("Set bumped generation to %d, want %d", s.Generation(), g0+1)
+	}
+	if err := s.SetWithExpiry("p1", "address", "", OptIn, t0, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != g0+2 {
+		t.Errorf("SetWithExpiry bumped generation to %d, want %d", s.Generation(), g0+2)
+	}
+	s.Revoke("p1")
+	if s.Generation() != g0+3 {
+		t.Errorf("Revoke bumped generation to %d, want %d", s.Generation(), g0+3)
+	}
+	// Failed sets must not bump.
+	g := s.Generation()
+	if err := s.Set("", "a", "b", OptOut, t0); err == nil {
+		t.Fatal("empty patient accepted")
+	}
+	if s.Generation() != g {
+		t.Error("failed Set bumped the generation")
+	}
+}

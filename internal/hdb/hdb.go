@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -65,11 +66,20 @@ type Enforcer struct {
 	v       *vocab.Vocabulary
 	consent *consent.Store
 	log     *audit.Log
-	clock   func() time.Time
 
 	mu       sync.RWMutex
 	mappings map[string]*TableMapping // lower(table) -> mapping
-	strict   bool                     // reject out-of-vocabulary purposes and roles
+
+	// Lock-free per-query state: the fast path reads all of it with
+	// atomic loads only (see fastpath.go).
+	clock  atomic.Pointer[func() time.Time]
+	strict atomic.Bool   // reject out-of-vocabulary purposes and roles
+	fast   atomic.Bool   // compiled enforcement path toggle
+	mapGen atomic.Uint64 // bumped by RegisterTable; keys plan validity
+	snap   atomic.Pointer[decisionSnapshot]
+	plans  sync.Map // sql -> *queryPlan
+	planN  atomic.Int64
+	snapb  snapshotBuilder
 }
 
 // New builds an enforcer. The policy store is held by reference:
@@ -77,19 +87,20 @@ type Enforcer struct {
 // consent may be nil (no consent filtering); log may be nil (no
 // auditing) although a PRIMA deployment always audits.
 func New(db *minidb.Database, ps *policy.Policy, v *vocab.Vocabulary, cs *consent.Store, log *audit.Log) *Enforcer {
-	return &Enforcer{
+	e := &Enforcer{
 		db: db, ps: ps, v: v, consent: cs, log: log,
-		clock:    time.Now,
 		mappings: make(map[string]*TableMapping),
 	}
+	now := time.Now
+	e.clock.Store(&now)
+	e.fast.Store(true)
+	return e
 }
 
 // SetClock overrides the audit timestamp source; tests and the
 // workflow simulator use it for deterministic logs.
 func (e *Enforcer) SetClock(clock func() time.Time) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.clock = clock
+	e.clock.Store(&clock)
 }
 
 // SetStrictVocabulary toggles strict mode: when on, queries carrying
@@ -97,17 +108,12 @@ func (e *Enforcer) SetClock(clock func() time.Time) {
 // Strict mode keeps the audit log analyzable — refinement groups by
 // these values — at the cost of refusing misconfigured clients.
 func (e *Enforcer) SetStrictVocabulary(on bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.strict = on
+	e.strict.Store(on)
 }
 
 // checkVocabulary enforces strict mode for a principal and purpose.
 func (e *Enforcer) checkVocabulary(p Principal, purpose string) error {
-	e.mu.RLock()
-	strict := e.strict
-	e.mu.RUnlock()
-	if !strict {
+	if !e.strict.Load() {
 		return nil
 	}
 	if h := e.v.Hierarchy("purpose"); h != nil && !h.Contains(purpose) {
@@ -160,6 +166,8 @@ func (e *Enforcer) RegisterTable(m TableMapping) error {
 	e.mu.Lock()
 	e.mappings[strings.ToLower(m.Table)] = norm
 	e.mu.Unlock()
+	// Invalidate compiled plans that captured the previous mapping.
+	e.mapGen.Add(1)
 	return nil
 }
 
@@ -259,7 +267,18 @@ func (e *Enforcer) BreakGlass(p Principal, purpose, reason, sql string) (*minidb
 	return e.run(p, purpose, reason, sql, true)
 }
 
+// run dispatches between the compiled fast path (fastpath.go) and the
+// reference slow path below. Both produce byte-identical results,
+// errors, and audit entries; the differential suite in
+// fastpath_test.go holds them to that.
 func (e *Enforcer) run(p Principal, purpose, reason, sql string, breakGlass bool) (*minidb.Result, *Access, error) {
+	if e.fast.Load() {
+		return e.runFast(p, purpose, reason, sql, breakGlass)
+	}
+	return e.runSlow(p, purpose, reason, sql, breakGlass)
+}
+
+func (e *Enforcer) runSlow(p Principal, purpose, reason, sql string, breakGlass bool) (*minidb.Result, *Access, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -371,10 +390,7 @@ func (e *Enforcer) audit(p Principal, purpose, reason string, acc *Access, op au
 	if acc.Exception {
 		status = audit.Exception
 	}
-	e.mu.RLock()
-	clock := e.clock
-	e.mu.RUnlock()
-	now := clock()
+	now := (*e.clock.Load())()
 	batch := make([]audit.Entry, 0, len(cats))
 	for _, cat := range cats {
 		batch = append(batch, audit.Entry{
@@ -440,58 +456,62 @@ func nonOutputExprs(sel *minidb.SelectStmt) []minidb.Expr {
 	return out
 }
 
-// columnsOf collects every column name referenced by the expressions.
+// columnsOf collects every column name referenced by the expressions,
+// sorted and deduplicated. Queries reference a handful of columns, so
+// the set is kept as a small sorted slice (binary-search insert)
+// rather than a map — no map allocation on the per-query path.
 func columnsOf(exprs []minidb.Expr) []string {
-	set := map[string]bool{}
-	var walk func(e minidb.Expr)
-	walk = func(e minidb.Expr) {
-		switch x := e.(type) {
-		case nil:
-			return
-		case *minidb.ColRef:
-			name := x.Name
-			if i := strings.LastIndexByte(name, '.'); i >= 0 {
-				name = name[i+1:]
-			}
-			set[strings.ToLower(name)] = true
-		case *minidb.Unary:
-			walk(x.X)
-		case *minidb.Binary:
-			walk(x.L)
-			walk(x.R)
-		case *minidb.Call:
-			for _, a := range x.Args {
-				walk(a)
-			}
-		case *minidb.InList:
-			walk(x.X)
-			for _, a := range x.List {
-				walk(a)
-			}
-		case *minidb.Like:
-			walk(x.X)
-			walk(x.Pattern)
-		case *minidb.IsNull:
-			walk(x.X)
-		}
-	}
+	var out []string
 	for _, e := range exprs {
-		walk(e)
+		out = collectColumns(out, e)
 	}
-	out := keys(set)
+	return out
+}
+
+func collectColumns(out []string, e minidb.Expr) []string {
+	switch x := e.(type) {
+	case nil:
+		return out
+	case *minidb.ColRef:
+		name := x.Name
+		if i := strings.LastIndexByte(name, '.'); i >= 0 {
+			name = name[i+1:]
+		}
+		return insertSorted(out, strings.ToLower(name))
+	case *minidb.Unary:
+		return collectColumns(out, x.X)
+	case *minidb.Binary:
+		return collectColumns(collectColumns(out, x.L), x.R)
+	case *minidb.Call:
+		for _, a := range x.Args {
+			out = collectColumns(out, a)
+		}
+		return out
+	case *minidb.InList:
+		out = collectColumns(out, x.X)
+		for _, a := range x.List {
+			out = collectColumns(out, a)
+		}
+		return out
+	case *minidb.Like:
+		return collectColumns(collectColumns(out, x.X), x.Pattern)
+	case *minidb.IsNull:
+		return collectColumns(out, x.X)
+	}
 	return out
 }
 
 // categoriesOf maps column names to their data categories (sorted,
-// deduplicated); unmapped columns carry no category.
+// deduplicated); unmapped columns carry no category. The dominant
+// one-or-two-category case stays on a small sorted slice.
 func categoriesOf(cols []string, m *TableMapping) []string {
-	set := map[string]bool{}
+	var out []string
 	for _, c := range cols {
 		if cat, ok := m.Categories[c]; ok {
-			set[cat] = true
+			out = insertSorted(out, cat)
 		}
 	}
-	return keys(set)
+	return out
 }
 
 // maskColumns nulls out the output items whose category is denied,
@@ -543,15 +563,38 @@ func addConsentPredicate(sel *minidb.SelectStmt, patientCol string, patients []s
 	}
 }
 
+// union merges two sorted, deduplicated slices. The result is always
+// non-nil (callers serialize it) and may alias an input when the other
+// is empty; neither input is mutated afterwards.
 func union(a, b []string) []string {
-	set := map[string]bool{}
-	for _, x := range a {
-		set[x] = true
+	if len(b) == 0 {
+		if a == nil {
+			return []string{}
+		}
+		return a
 	}
-	for _, x := range b {
-		set[x] = true
+	if len(a) == 0 {
+		return b
 	}
-	return keys(set)
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 func keys(set map[string]bool) []string {

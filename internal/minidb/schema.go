@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column describes one table column.
@@ -118,6 +119,12 @@ func (t *Table) snapshot() [][]Value {
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// schemaGen counts schema mutations (CreateTable/DropTable). The
+	// enforcement plan cache keys compiled statements on it so a
+	// dropped or recreated table invalidates cached plans with one
+	// lock-free load; row mutations do not bump it (plans reference
+	// tables by name, not by row state).
+	schemaGen atomic.Uint64
 }
 
 // NewDatabase returns an empty database.
@@ -138,6 +145,7 @@ func (db *Database) CreateTable(name string, cols []Column) (*Table, error) {
 		return nil, fmt.Errorf("minidb: table %q already exists", name)
 	}
 	db.tables[key] = t
+	db.schemaGen.Add(1)
 	return t, nil
 }
 
@@ -150,7 +158,13 @@ func (db *Database) DropTable(name string) error {
 		return fmt.Errorf("minidb: table %q does not exist", name)
 	}
 	delete(db.tables, key)
+	db.schemaGen.Add(1)
 	return nil
+}
+
+// SchemaGeneration returns the schema mutation counter; lock-free.
+func (db *Database) SchemaGeneration() uint64 {
+	return db.schemaGen.Load()
 }
 
 // Table returns the named table, or an error if it does not exist.

@@ -154,7 +154,7 @@ func (p *Policy) UnmarshalJSON(data []byte) error {
 	p.Name = np.Name
 	p.rules = append(p.rules[:0:0], np.rules...)
 	p.index = np.index
-	p.version++
+	p.version.Add(1)
 	p.mu.Unlock()
 	return nil
 }

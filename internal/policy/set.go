@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vocab"
 )
@@ -23,10 +24,12 @@ type Policy struct {
 	// making Add/Contains/Remove O(1) instead of a linear scan.
 	index map[string]int
 	// version counts mutations. Every change to the rule set bumps it
-	// under mu, so caches (the enforcer's policy range, RangeCache)
-	// detect staleness with one integer compare instead of
-	// re-fingerprinting the store.
-	version uint64
+	// while mu is held, so caches (the enforcer's policy range,
+	// RangeCache, the enforcement decision snapshot) detect staleness
+	// with one integer compare instead of re-fingerprinting the store.
+	// The counter is atomic so the per-query validity probe on the
+	// enforcement fast path is a lock-free load.
+	version atomic.Uint64
 }
 
 // New returns an empty policy with the given name.
@@ -62,7 +65,7 @@ func (p *Policy) addLocked(r Rule) bool {
 	}
 	p.index[key] = len(p.rules)
 	p.rules = append(p.rules, r)
-	p.version++
+	p.version.Add(1)
 	return true
 }
 
@@ -85,7 +88,7 @@ func (p *Policy) Remove(r Rule) bool {
 	p.rules[last] = Rule{}
 	p.rules = p.rules[:last]
 	delete(p.index, key)
-	p.version++
+	p.version.Add(1)
 	return true
 }
 
@@ -108,7 +111,7 @@ func (p *Policy) SetRules(rules []Rule) {
 	defer p.mu.Unlock()
 	p.rules = p.rules[:0:0]
 	p.index = make(map[string]int, len(rules))
-	p.version++
+	p.version.Add(1)
 	for _, r := range rules {
 		if !r.IsZero() {
 			p.addLocked(r)
@@ -118,11 +121,10 @@ func (p *Policy) SetRules(rules []Rule) {
 
 // Version returns the mutation counter: it increases on every change
 // to the rule set, so a cache can validate a derived artifact (the
-// policy's ground range) with one integer compare.
+// policy's ground range, the enforcement decision snapshot) with one
+// integer compare. The read is lock-free.
 func (p *Policy) Version() uint64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.version
+	return p.version.Load()
 }
 
 // Len is the cardinality #P of the policy.

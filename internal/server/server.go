@@ -6,11 +6,14 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	prima "repro"
@@ -51,14 +54,50 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// bufPool recycles response-encoding buffers across requests. Bodies
+// are marshalled into a pooled buffer and written in one call, which
+// lets the handler set Content-Length and avoids the per-chunk
+// flushing of streaming straight into the ResponseWriter. Buffers
+// that grew past maxPooledBuf are dropped instead of pinned.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		bufPool.Put(buf)
+		http.Error(w, `{"error":"server: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
 }
+
+// writeBody sends one fully materialized JSON body.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// Static response shapes are marshalled once at startup rather than
+// per request.
+var (
+	healthBody       = []byte("{\"status\":\"ok\"}\n")
+	postRequiredBody = []byte("{\"error\":\"server: POST required\"}\n")
+)
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writePostRequired(w http.ResponseWriter) {
+	writeBody(w, http.StatusMethodNotAllowed, postRequiredBody)
 }
 
 func decode(r *http.Request, v any) error {
@@ -71,7 +110,7 @@ func decode(r *http.Request, v any) error {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeBody(w, http.StatusOK, healthBody)
 }
 
 // QueryRequest is the body of POST /query and /breakglass.
@@ -93,15 +132,20 @@ type QueryResponse struct {
 
 func toResponse(res *minidb.Result, acc *hdb.Access) QueryResponse {
 	out := QueryResponse{Columns: res.Columns, Access: acc}
-	for i := range res.Rows {
-		out.Rows = append(out.Rows, res.RowStrings(i))
+	// Rows stays nil (JSON null) when empty, as it always has; the
+	// preallocation only kicks in for non-empty results.
+	if len(res.Rows) > 0 {
+		out.Rows = make([][]string, 0, len(res.Rows))
+		for i := range res.Rows {
+			out.Rows = append(out.Rows, res.RowStrings(i))
+		}
 	}
 	return out
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("server: POST required"))
+		writePostRequired(w)
 		return
 	}
 	var req QueryRequest
@@ -123,7 +167,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBreakGlass(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("server: POST required"))
+		writePostRequired(w)
 		return
 	}
 	var req QueryRequest
@@ -191,7 +235,7 @@ type ConsentRequest struct {
 
 func (s *Server) handleConsent(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("server: POST required"))
+		writePostRequired(w)
 		return
 	}
 	var req ConsentRequest
@@ -363,7 +407,7 @@ func parseDecision(s string) (core.Decision, error) {
 
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("server: POST required"))
+		writePostRequired(w)
 		return
 	}
 	var req RefineRequest
@@ -424,7 +468,7 @@ type GeneralizeResponse struct {
 
 func (s *Server) handleGeneralize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("server: POST required"))
+		writePostRequired(w)
 		return
 	}
 	res, err := s.sys.Generalize()

@@ -230,6 +230,18 @@ func (v *Vocabulary) UnmarshalJSON(data []byte) error {
 			}
 		}
 	}
-	*v = *nv
+	// Install the decoded forest field-wise (the Vocabulary carries a
+	// mutex and an atomic counter, so the struct itself must not be
+	// copied), repointing each hierarchy at its new owner. The
+	// generation bumps past both counters so caches keyed on the old
+	// vocabulary's generation can never validate against the new one.
+	v.mu.Lock()
+	for _, h := range nv.attrs {
+		h.owner = v
+	}
+	v.attrs = nv.attrs
+	v.order = nv.order
+	v.gen.Add(nv.gen.Load() + 1)
+	v.mu.Unlock()
 	return nil
 }

@@ -7,6 +7,14 @@
 // A composite value can always be expanded into the set of ground
 // values derivable from it (Definition 3); that set is called its
 // ground set and is written RT' in the paper.
+//
+// Concurrency: a Vocabulary carries one RWMutex shared by all of its
+// hierarchies. The value-level query methods (Contains, IsGround,
+// GroundSet, Subsumes, ...) take the read lock and Add takes the write
+// lock, so policy refinement can grow the vocabulary while the
+// enforcement path consults it. Structural walks over raw *Node trees
+// (Roots + Node.Children, used by the codecs and Merge) are not locked
+// — they require the vocabulary to be quiescent.
 package vocab
 
 import (
@@ -14,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Norm canonicalizes an attribute or value for comparison: values in
@@ -23,7 +32,9 @@ func Norm(s string) string {
 	return strings.ToLower(strings.TrimSpace(s))
 }
 
-// Node is a single value in an attribute hierarchy.
+// Node is a single value in an attribute hierarchy. Direct Node
+// traversal is unsynchronized; callers walking node trees must hold
+// the vocabulary quiescent (the codecs and Merge do).
 type Node struct {
 	value    string // display form, as first registered
 	parent   *Node  // nil for top-level values
@@ -44,12 +55,13 @@ func (n *Node) Children() []*Node { return n.children }
 // vocabulary (Definition 2): it has no children.
 func (n *Node) IsGround() bool { return len(n.children) == 0 }
 
-// Hierarchy is the value hierarchy for one attribute.
+// Hierarchy is the value hierarchy for one attribute. It locks through
+// its owning Vocabulary, so one lock guards the whole forest.
 type Hierarchy struct {
-	attr  string // display form
+	owner *Vocabulary // lock + generation counter live on the owner
+	attr  string      // display form
 	roots []*Node
 	nodes map[string]*Node // by Norm(value)
-	gen   uint64           // bumped on every Add; see Vocabulary.Generation
 
 	// groundMemo caches GroundSet results by Norm(value). Ground-set
 	// expansion (walk + sort) sits under every Range computation
@@ -57,21 +69,35 @@ type Hierarchy struct {
 	// are invalidated wholesale on Add. Only registered values are
 	// memoized, so the memo is bounded by the hierarchy size. A
 	// sync.Map because range expansion reads it from worker
-	// goroutines while the hierarchy itself is quiescent.
+	// goroutines concurrently.
 	groundMemo sync.Map // string -> []string
 }
 
 // Attr returns the display form of the attribute name.
 func (h *Hierarchy) Attr() string { return h.attr }
 
-// Roots returns the top-level values of the hierarchy.
-func (h *Hierarchy) Roots() []*Node { return h.roots }
+// Roots returns the top-level values of the hierarchy. Walking the
+// returned nodes is unsynchronized; see the package comment.
+func (h *Hierarchy) Roots() []*Node {
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
+	return h.roots
+}
 
 // Len returns the number of values registered in the hierarchy.
-func (h *Hierarchy) Len() int { return len(h.nodes) }
+func (h *Hierarchy) Len() int {
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
+	return len(h.nodes)
+}
 
 // Node returns the node for value, or nil if the value is unknown.
-func (h *Hierarchy) Node(value string) *Node { return h.nodes[Norm(value)] }
+// Walking the returned node is unsynchronized; see the package comment.
+func (h *Hierarchy) Node(value string) *Node {
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
+	return h.nodes[Norm(value)]
+}
 
 // Add registers value under parent. An empty parent registers a
 // top-level value. It is an error to add a value twice or to reference
@@ -81,6 +107,8 @@ func (h *Hierarchy) Add(parent, value string) error {
 	if key == "" {
 		return fmt.Errorf("vocab: empty value for attribute %q", h.attr)
 	}
+	h.owner.mu.Lock()
+	defer h.owner.mu.Unlock()
 	if _, ok := h.nodes[key]; ok {
 		return fmt.Errorf("vocab: duplicate value %q for attribute %q", value, h.attr)
 	}
@@ -96,7 +124,7 @@ func (h *Hierarchy) Add(parent, value string) error {
 		p.children = append(p.children, n)
 	}
 	h.nodes[key] = n
-	h.gen++
+	h.owner.gen.Add(1)
 	// Adding a value can change the ground set of every ancestor (and
 	// turns a former leaf composite); drop the whole memo.
 	h.groundMemo.Range(func(k, _ any) bool {
@@ -115,6 +143,8 @@ func (h *Hierarchy) MustAdd(parent, value string) {
 
 // Contains reports whether value is registered in the hierarchy.
 func (h *Hierarchy) Contains(value string) bool {
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
 	_, ok := h.nodes[Norm(value)]
 	return ok
 }
@@ -123,8 +153,10 @@ func (h *Hierarchy) Contains(value string) bool {
 // that is not registered in the vocabulary cannot be subdivided by it
 // and is therefore treated as ground.
 func (h *Hierarchy) IsGround(value string) bool {
-	n := h.Node(value)
-	return n == nil || n.IsGround()
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
+	n := h.nodes[Norm(value)]
+	return n == nil || len(n.children) == 0
 }
 
 // GroundSet returns the ground values derivable from value — the set
@@ -134,6 +166,8 @@ func (h *Hierarchy) IsGround(value string) bool {
 // returned slice must not be modified.
 func (h *Hierarchy) GroundSet(value string) []string {
 	key := Norm(value)
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
 	n := h.nodes[key]
 	if n == nil {
 		return []string{strings.TrimSpace(value)}
@@ -158,6 +192,23 @@ func (h *Hierarchy) GroundSet(value string) []string {
 	return out
 }
 
+// CompositeValues returns the normalized form of every registered
+// value that is not ground (it has children), sorted. The enforcement
+// decision snapshot uses it to tell "ground but unlisted ⇒ deny" apart
+// from "composite ⇒ expand" without consulting the hierarchy per query.
+func (h *Hierarchy) CompositeValues() []string {
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
+	var out []string
+	for key, n := range h.nodes {
+		if len(n.children) > 0 {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Subsumes reports whether b lies in the subtree rooted at a
 // (inclusive). Unknown values subsume only themselves.
 func (h *Hierarchy) Subsumes(a, b string) bool {
@@ -165,6 +216,8 @@ func (h *Hierarchy) Subsumes(a, b string) bool {
 	if ka == kb {
 		return true
 	}
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
 	nb := h.nodes[kb]
 	for nb != nil {
 		if Norm(nb.value) == ka {
@@ -178,7 +231,9 @@ func (h *Hierarchy) Subsumes(a, b string) bool {
 // Ancestors returns the chain of ancestors of value from its parent up
 // to its top-level value. Unknown or top-level values yield nil.
 func (h *Hierarchy) Ancestors(value string) []string {
-	n := h.Node(value)
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
+	n := h.nodes[Norm(value)]
 	if n == nil {
 		return nil
 	}
@@ -191,9 +246,11 @@ func (h *Hierarchy) Ancestors(value string) []string {
 
 // Leaves returns every ground value in the hierarchy, sorted.
 func (h *Hierarchy) Leaves() []string {
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
 	var out []string
 	for _, n := range h.nodes {
-		if n.IsGround() {
+		if len(n.children) == 0 {
 			out = append(out, n.value)
 		}
 	}
@@ -203,6 +260,8 @@ func (h *Hierarchy) Leaves() []string {
 
 // Values returns every value in the hierarchy, sorted.
 func (h *Hierarchy) Values() []string {
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
 	out := make([]string, 0, len(h.nodes))
 	for _, n := range h.nodes {
 		out = append(out, n.value)
@@ -214,7 +273,9 @@ func (h *Hierarchy) Values() []string {
 // Depth returns the depth of value (top-level values have depth 1);
 // zero for unknown values.
 func (h *Hierarchy) Depth(value string) int {
-	n := h.Node(value)
+	h.owner.mu.RLock()
+	defer h.owner.mu.RUnlock()
+	n := h.nodes[Norm(value)]
 	if n == nil {
 		return 0
 	}
@@ -227,8 +288,12 @@ func (h *Hierarchy) Depth(value string) int {
 
 // Vocabulary is a set of attribute hierarchies (paper Figure 1).
 type Vocabulary struct {
+	mu    sync.RWMutex
 	attrs map[string]*Hierarchy // by Norm(attr)
 	order []string              // display forms, registration order
+	// gen counts mutations (attribute or value additions) and is read
+	// lock-free by derived-artifact caches; see Generation.
+	gen atomic.Uint64
 }
 
 // New returns an empty vocabulary.
@@ -242,21 +307,31 @@ func (v *Vocabulary) AddAttribute(attr string) (*Hierarchy, error) {
 	if key == "" {
 		return nil, fmt.Errorf("vocab: empty attribute name")
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.addAttributeLocked(key, attr)
+}
+
+func (v *Vocabulary) addAttributeLocked(key, attr string) (*Hierarchy, error) {
 	if _, ok := v.attrs[key]; ok {
 		return nil, fmt.Errorf("vocab: duplicate attribute %q", attr)
 	}
-	h := &Hierarchy{attr: strings.TrimSpace(attr), nodes: make(map[string]*Node)}
+	h := &Hierarchy{owner: v, attr: strings.TrimSpace(attr), nodes: make(map[string]*Node)}
 	v.attrs[key] = h
 	v.order = append(v.order, h.attr)
+	v.gen.Add(1)
 	return h, nil
 }
 
 // MustAttribute returns the hierarchy for attr, creating it if needed.
 func (v *Vocabulary) MustAttribute(attr string) *Hierarchy {
-	if h := v.attrs[Norm(attr)]; h != nil {
+	key := Norm(attr)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.attrs[key]; h != nil {
 		return h
 	}
-	h, err := v.AddAttribute(attr)
+	h, err := v.addAttributeLocked(key, attr)
 	if err != nil {
 		panic(err)
 	}
@@ -264,10 +339,16 @@ func (v *Vocabulary) MustAttribute(attr string) *Hierarchy {
 }
 
 // Hierarchy returns the hierarchy for attr, or nil if unregistered.
-func (v *Vocabulary) Hierarchy(attr string) *Hierarchy { return v.attrs[Norm(attr)] }
+func (v *Vocabulary) Hierarchy(attr string) *Hierarchy {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.attrs[Norm(attr)]
+}
 
 // Attributes returns the registered attribute names in registration order.
 func (v *Vocabulary) Attributes() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	out := make([]string, len(v.order))
 	copy(out, v.order)
 	return out
@@ -321,43 +402,56 @@ func (v *Vocabulary) Equivalent(attr, a, b string) bool {
 
 // Generation returns a counter that increases on every mutation of
 // the vocabulary — adding an attribute or adding a value to any
-// hierarchy. Derived-artifact caches (policy.RangeCache) use it to
-// detect staleness without walking the forest. The vocabulary has no
-// removal operations, so equal generations imply an unchanged
-// vocabulary.
+// hierarchy. Derived-artifact caches (policy.RangeCache, the
+// enforcement decision snapshot) use it to detect staleness without
+// walking the forest; the read is a single lock-free atomic load. The
+// vocabulary has no removal operations, so equal generations imply an
+// unchanged vocabulary.
 func (v *Vocabulary) Generation() uint64 {
-	g := uint64(len(v.attrs))
-	for _, h := range v.attrs {
-		g += h.gen
-	}
-	return g
+	return v.gen.Load()
 }
 
 // Size returns the total number of values across all hierarchies.
 func (v *Vocabulary) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	n := 0
 	for _, h := range v.attrs {
-		n += h.Len()
+		n += len(h.nodes)
 	}
 	return n
 }
 
-// Clone returns a deep copy of the vocabulary.
+// Clone returns a deep copy of the vocabulary. The structure is
+// snapshotted under the read lock and rebuilt outside it, so cloning
+// never holds two vocabulary locks at once.
 func (v *Vocabulary) Clone() *Vocabulary {
-	out := New()
+	type entry struct{ attr, parent, value string }
+	v.mu.RLock()
+	var entries []entry
+	attrs := make([]string, 0, len(v.order))
 	for _, attr := range v.order {
-		src := v.Hierarchy(attr)
-		dst := out.MustAttribute(attr)
+		attrs = append(attrs, attr)
+		h := v.attrs[Norm(attr)]
 		var walk func(parent string, n *Node)
 		walk = func(parent string, n *Node) {
-			dst.MustAdd(parent, n.value)
+			entries = append(entries, entry{attr: attr, parent: parent, value: n.value})
 			for _, c := range n.children {
 				walk(n.value, c)
 			}
 		}
-		for _, r := range src.roots {
+		for _, r := range h.roots {
 			walk("", r)
 		}
+	}
+	v.mu.RUnlock()
+
+	out := New()
+	for _, attr := range attrs {
+		out.MustAttribute(attr)
+	}
+	for _, e := range entries {
+		out.MustAttribute(e.attr).MustAdd(e.parent, e.value)
 	}
 	return out
 }

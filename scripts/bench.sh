@@ -6,6 +6,10 @@
 # Usage: scripts/bench.sh [output.json]
 # Default output: BENCH.json in the repo root. Committed snapshots are
 # named BENCH_<pr>.json.
+#
+# The -bench=. sweep includes the enforcement fast-path rows
+# (E12_EnforcedQPS, E13_ConcurrentEnforcement); check.sh smokes the
+# same set at one iteration so the harness cannot rot.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -43,8 +43,8 @@ echo "==> fuzz smoke (~30s: decoders must not panic on arbitrary input)"
 go test -fuzz=FuzzDecodePolicy -fuzztime=15s -run=NONE ./internal/policy > /dev/null
 go test -fuzz=FuzzDecodeEntry -fuzztime=15s -run=NONE ./internal/audit > /dev/null
 
-echo "==> go test -race (concurrency suites: audit, core, hdb, minidb, policy, workflow, server)"
-go test -race ./internal/audit/ ./internal/core/ ./internal/hdb/ ./internal/minidb/ ./internal/policy/ ./internal/workflow/ ./internal/server/
+echo "==> go test -race (concurrency suites: audit, consent, core, hdb, minidb, policy, workflow, server)"
+go test -race ./internal/audit/ ./internal/consent/ ./internal/core/ ./internal/hdb/ ./internal/minidb/ ./internal/policy/ ./internal/workflow/ ./internal/server/
 
 echo "==> benchmark smoke (one iteration per benchmark)"
 go test -bench=. -benchtime=1x -run=NONE . > /dev/null
