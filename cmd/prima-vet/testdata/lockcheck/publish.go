@@ -1,0 +1,65 @@
+package lockfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SnapCache publishes a derived snapshot behind its mutex while a
+// version counter tells readers when the snapshot went stale — the
+// plain-pointer variant of the generation-validated cache publish
+// discipline. Swinging the pointer without bumping the counter leaves
+// validation reads approving a snapshot built from dead state.
+type SnapCache struct {
+	mu      sync.Mutex
+	snap    *[]string
+	version uint64
+}
+
+// Publish is the correct discipline: the pointer swing and the bump
+// travel under the same critical section.
+func (c *SnapCache) Publish(items []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snap = &items
+	c.version++
+}
+
+// PublishStale swings the pointer but forgets the bump: every reader
+// validating against version keeps trusting the previous snapshot.
+func (c *SnapCache) PublishStale(items []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snap = &items // want lockcheck "without bumping version"
+}
+
+// AtomicSnapCache is the lock-free-reader variant of the discipline
+// (vocab's interval cache): the snapshot publishes through an atomic
+// pointer and carries its own generation, compared by readers against
+// the owner's counter. The mutex only serializes rebuilds. The atomic
+// Store is a method call on the pointer, not a guarded field write,
+// and staleness is detected by the generation embedded in the
+// snapshot — so a rebuild that never touches version is correct and
+// rule 4 stays quiet.
+type AtomicSnapCache struct {
+	mu      sync.Mutex
+	cur     atomic.Pointer[[]string]
+	version atomic.Uint64
+}
+
+// Rebuild publishes a fresh snapshot; no bump is required because the
+// owner's counter (version) moves with the data, not with the cache.
+func (c *AtomicSnapCache) Rebuild(items []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cur.Store(&items)
+}
+
+// Invalidate moves the owner generation through the atomic method;
+// rule 4 accepts Add as the bump for the guarded reset.
+func (c *AtomicSnapCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cur.Store(nil)
+	c.version.Add(1)
+}

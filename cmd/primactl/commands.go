@@ -53,15 +53,45 @@ func loadAudit(path string) ([]prima.Entry, error) {
 func cmdVocab(args []string) error {
 	fs := flag.NewFlagSet("vocab", flag.ContinueOnError)
 	file := fs.String("file", "", "vocabulary file (default: the paper's Figure 1 sample)")
+	gen := fs.String("gen", "", "generate a synthetic vocabulary instead: BRANCHxDEPTH (e.g. 10x5 = 100k leaves)")
+	stats := fs.Bool("stats", false, "print per-attribute node/leaf counts instead of the vocabulary text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	v, err := loadVocab(*file)
-	if err != nil {
-		return err
+	var v *prima.Vocabulary
+	if *gen != "" {
+		branch, depth, err := parseGen(*gen)
+		if err != nil {
+			return err
+		}
+		v = prima.SyntheticVocabulary(branch, depth)
+	} else {
+		var err error
+		v, err = loadVocab(*file)
+		if err != nil {
+			return err
+		}
+	}
+	if *stats {
+		for _, attr := range v.Attributes() {
+			h := v.Hierarchy(attr)
+			fmt.Printf("%s: %d value(s), %d ground\n", attr, len(h.Values()), len(h.Leaves()))
+		}
+		return nil
 	}
 	fmt.Print(v.TextString())
 	return nil
+}
+
+// parseGen parses the BRANCHxDEPTH spec of vocab -gen.
+func parseGen(spec string) (branch, depth int, err error) {
+	if _, err := fmt.Sscanf(spec, "%dx%d", &branch, &depth); err != nil {
+		return 0, 0, fmt.Errorf("vocab: -gen wants BRANCHxDEPTH (e.g. 10x5), got %q", spec)
+	}
+	if branch < 1 || depth < 0 || depth > 12 {
+		return 0, 0, fmt.Errorf("vocab: -gen %q out of range (branch >= 1, 0 <= depth <= 12)", spec)
+	}
+	return branch, depth, nil
 }
 
 func cmdCoverage(args []string) error {
@@ -89,11 +119,27 @@ func cmdCoverage(args []string) error {
 		return err
 	}
 	al := prima.EntriesToPolicy("AL", entries)
-	rep, err := prima.CoverageDetail(ps, al, v)
+	erep, err := prima.EntryCoverage(ps, entries, v)
 	if err != nil {
 		return err
 	}
-	erep, err := prima.EntryCoverage(ps, entries, v)
+	if !*explain {
+		// Summary path: Algorithm 1 evaluated symbolically, so it
+		// completes at any vocabulary scale without materializing a
+		// ground Range.
+		cov, err := prima.ComputeCoverage(ps, al, v)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy rules: %d (range %d)\n", ps.Len(), prima.SymbolicRangeCard(ps, v))
+		fmt.Printf("audit rules:  %d distinct (range %d) over %d rows\n",
+			al.Len(), prima.SymbolicRangeCard(al, v), erep.Total)
+		fmt.Printf("coverage (Definition 9, distinct rules): %.1f%%\n", cov*100)
+		fmt.Printf("coverage (§5 row counting):              %.1f%% (%d/%d)\n",
+			erep.Coverage*100, erep.Covered, erep.Total)
+		return nil
+	}
+	rep, err := prima.CoverageDetail(ps, al, v)
 	if err != nil {
 		return err
 	}
@@ -103,7 +149,7 @@ func cmdCoverage(args []string) error {
 		rep.Coverage*100, rep.Overlap, rep.RangeY)
 	fmt.Printf("coverage (§5 row counting):              %.1f%% (%d/%d)\n",
 		erep.Coverage*100, erep.Covered, erep.Total)
-	if *explain && len(rep.Gaps) > 0 {
+	if len(rep.Gaps) > 0 {
 		fmt.Println("uncovered accesses:")
 		for _, g := range rep.Gaps {
 			fmt.Printf("  %s\n", g.Rule.Compact())

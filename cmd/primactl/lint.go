@@ -21,6 +21,8 @@ func cmdLint(args []string) error {
 	policyFile := fs.String("policy", "", "policy store file (required)")
 	name := fs.String("name", "PS", "policy name used in the report")
 	jsonOut := fs.Bool("json", false, "emit the report as a JSON document")
+	overbroad := fs.Float64("overbroad", 0, "PL008 threshold fraction in (0,1]; 0 = default 0.9, negative disables")
+	materialize := fs.Bool("materialize", false, "use the materializing oracle path (small vocabularies only)")
 	if err := fs.Parse(args); err != nil {
 		return &exitError{code: 2, err: err}
 	}
@@ -36,7 +38,10 @@ func cmdLint(args []string) error {
 		return &exitError{code: 2, err: err}
 	}
 
-	rep := lint.Policy(p, v)
+	rep := lint.PolicyOpts(p, v, lint.Options{
+		Materialize:       *materialize,
+		OverBroadFraction: *overbroad,
+	})
 	if *jsonOut {
 		err = rep.WriteJSON(os.Stdout)
 	} else {

@@ -10,8 +10,8 @@
 //	primactl refine   -vocab V -policy P -audit A [-support 5] [-users 2] [-adopt -out P']
 //	primactl generalize -vocab V -policy P [-out P']
 //	primactl report   -vocab V -policy P -audit A [-title T]
-//	primactl lint     -vocab V -policy P [-json]  static policy-store analysis
-//	primactl vocab    [-file V]             print a vocabulary (default: the paper's)
+//	primactl lint     -vocab V -policy P [-json] [-overbroad F] [-materialize]
+//	primactl vocab    [-file V] [-gen BxD] [-stats]  print or generate a vocabulary
 //
 // Vocabularies use the indented text format, policies one compact
 // rule per line, audit logs JSONL or CSV (by extension).

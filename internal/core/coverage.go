@@ -11,20 +11,51 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/audit"
 	"repro/internal/policy"
 	"repro/internal/vocab"
 )
 
+// symbolicCoverage selects the evaluation strategy for ComputeCoverage,
+// EntryCoverage, and Prune. The symbolic path (default) computes
+// cardinalities over the vocabulary's interval numbering without ever
+// materializing a ground Range — mandatory at SNOMED/ICD scale, where
+// #Range is combinatorial. The materializing path is retained as the
+// differential oracle; the two agree exactly wherever the oracle can
+// run at all.
+var symbolicCoverage atomic.Bool
+
+func init() { symbolicCoverage.Store(true) }
+
+// SetSymbolicCoverage selects the symbolic (true, default) or
+// materializing (false) evaluation path, returning the previous
+// setting. The materializing path exists for differential testing and
+// for callers that need the ground rules themselves (Coverage reports).
+func SetSymbolicCoverage(on bool) bool { return symbolicCoverage.Swap(on) }
+
+// SymbolicCoverage reports which evaluation path is active.
+func SymbolicCoverage() bool { return symbolicCoverage.Load() }
+
 // ComputeCoverage is Algorithm 1: the coverage of Px in relation to
 // Py is #(Range_Px ∩ Range_Py) / #Range_Py (Definition 9). Coverage
 // of anything against an empty policy is defined as 1 (there is
-// nothing to cover). Ranges come from the shared policy.RangeCache —
-// repeated coverage runs over an unchanged store reuse the expansion
-// — and the intersection is counted by membership against the smaller
-// range instead of materialized.
+// nothing to cover). On the symbolic path both cardinalities are
+// computed from the interval algebra (policy.SymRange) without
+// materializing a single ground rule; otherwise ranges come from the
+// shared policy.RangeCache and the intersection is counted by
+// membership against the smaller range.
 func ComputeCoverage(px, py *policy.Policy, v *vocab.Vocabulary) (float64, error) {
+	if symbolicCoverage.Load() {
+		sx := policy.SharedSym.Range(px, v) // getRange(Px, V), symbolically
+		sy := policy.SharedSym.Range(py, v)
+		my := sy.Card()
+		if my == 0 {
+			return 1, nil
+		}
+		return float64(sx.IntersectCard(sy)) / float64(my), nil
+	}
 	rx, err := policy.Shared.Range(px, v, 0) // getRange(Px, V)
 	if err != nil {
 		return 0, fmt.Errorf("core: range of %s: %w", px.Name, err)
@@ -160,14 +191,26 @@ type EntryReport struct {
 const entryChunkMin = 1024
 
 // EntryCoverage computes row-level coverage of the policy store over
-// an audit snapshot. Rows are tested by canonical key against the
-// cached range; large snapshots are chunked across GOMAXPROCS workers
-// and the per-chunk results merged in chunk order, so Uncovered keeps
-// the snapshot's row order regardless of parallelism.
+// an audit snapshot. On the symbolic path each row is an interval
+// probe into the store's symbolic range (no key allocation, no ground
+// range); on the materializing path rows are tested by canonical key
+// against the cached range. Large snapshots are chunked across
+// GOMAXPROCS workers and the per-chunk results merged in chunk order,
+// so Uncovered keeps the snapshot's row order regardless of
+// parallelism.
 func EntryCoverage(ps *policy.Policy, entries []audit.Entry, v *vocab.Vocabulary) (*EntryReport, error) {
-	rg, err := policy.Shared.Range(ps, v, 0)
-	if err != nil {
-		return nil, fmt.Errorf("core: range of %s: %w", ps.Name, err)
+	var covers func(e *audit.Entry) bool
+	if symbolicCoverage.Load() {
+		srg := policy.SharedSym.Range(ps, v)
+		covers = func(e *audit.Entry) bool {
+			return srg.ContainsTriple(v, e.Data, e.Purpose, e.Authorized)
+		}
+	} else {
+		rg, err := policy.Shared.Range(ps, v, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: range of %s: %w", ps.Name, err)
+		}
+		covers = func(e *audit.Entry) bool { return rg.ContainsKey(e.RuleKey()) }
 	}
 	rep := &EntryReport{Total: len(entries)}
 	workers := runtime.GOMAXPROCS(0)
@@ -175,7 +218,7 @@ func EntryCoverage(ps *policy.Policy, entries []audit.Entry, v *vocab.Vocabulary
 		workers = len(entries) / entryChunkMin
 	}
 	if workers <= 1 {
-		entryCoverChunk(rg, entries, &rep.Covered, &rep.Uncovered)
+		entryCoverChunk(covers, entries, &rep.Covered, &rep.Uncovered)
 	} else {
 		covered := make([]int, workers)
 		uncovered := make([][]audit.Entry, workers)
@@ -186,7 +229,7 @@ func EntryCoverage(ps *policy.Policy, entries []audit.Entry, v *vocab.Vocabulary
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				entryCoverChunk(rg, entries[lo:hi], &covered[w], &uncovered[w])
+				entryCoverChunk(covers, entries[lo:hi], &covered[w], &uncovered[w])
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -205,12 +248,12 @@ func EntryCoverage(ps *policy.Policy, entries []audit.Entry, v *vocab.Vocabulary
 
 // entryCoverChunk counts the covered entries of one chunk, collecting
 // the uncovered rows in order.
-func entryCoverChunk(rg *policy.Range, entries []audit.Entry, covered *int, uncovered *[]audit.Entry) {
-	for _, e := range entries {
-		if rg.ContainsKey(e.RuleKey()) {
+func entryCoverChunk(covers func(*audit.Entry) bool, entries []audit.Entry, covered *int, uncovered *[]audit.Entry) {
+	for i := range entries {
+		if covers(&entries[i]) {
 			*covered++
 		} else {
-			*uncovered = append(*uncovered, e)
+			*uncovered = append(*uncovered, entries[i])
 		}
 	}
 }

@@ -126,8 +126,28 @@ func ExtractPatterns(practice []audit.Entry, opts Options) ([]Pattern, error) {
 
 // Prune is Algorithm 6: it removes the patterns already covered by
 // the policy store, returning the complement of the pattern range
-// with respect to Range(P_PS).
+// with respect to Range(P_PS). On the symbolic path the containment
+// test Range_pattern ⊆ Range_PS is a cardinality comparison over the
+// interval algebra — no pattern is ever ground-expanded, so there is
+// no range limit to exceed.
 func Prune(patterns []Pattern, ps *policy.Policy, v *vocab.Vocabulary) ([]Pattern, error) {
+	if symbolicCoverage.Load() {
+		srg := policy.SharedSym.Range(ps, v)
+		var useful []Pattern
+		for _, p := range patterns {
+			sr, ok := policy.CompileRule(p.Rule, v)
+			if !ok {
+				// The zero rule grounds to the single empty rule, which no
+				// store range contains; the materializing oracle keeps it.
+				useful = append(useful, p)
+				continue
+			}
+			if !srg.Covers(sr) {
+				useful = append(useful, p)
+			}
+		}
+		return useful, nil
+	}
 	rg, err := policy.Shared.Range(ps, v, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: range of %s: %w", ps.Name, err)

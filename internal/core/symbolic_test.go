@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/policy"
+	"repro/internal/scenario"
+	"repro/internal/vocab"
+)
+
+// withMaterialized runs f on the materializing oracle path, restoring
+// the symbolic default afterwards.
+func withMaterialized(t *testing.T, f func()) {
+	t.Helper()
+	prev := SetSymbolicCoverage(false)
+	defer SetSymbolicCoverage(prev)
+	f()
+}
+
+// TestComputeCoveragePathsAgree: Algorithm 1 yields the identical
+// ratio on the symbolic and materializing paths over every ordered
+// pair of fixture policies (including the empty-Py convention).
+func TestComputeCoveragePathsAgree(t *testing.T) {
+	v := scenario.Vocabulary()
+	pols := []*policy.Policy{
+		scenario.PolicyStore(),
+		scenario.Figure3AuditPolicy(),
+		policy.FromRules("pattern", scenario.RefinementPattern()),
+		policy.New("empty"),
+	}
+	for _, px := range pols {
+		for _, py := range pols {
+			sym, err := ComputeCoverage(px, py, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mat float64
+			withMaterialized(t, func() {
+				mat, err = ComputeCoverage(px, py, v)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sym != mat {
+				t.Errorf("coverage(%s, %s): symbolic %v, materialized %v", px.Name, py.Name, sym, mat)
+			}
+		}
+	}
+}
+
+// TestEntryCoveragePathsAgree: row-level coverage over Table 1 is
+// identical — same ratio, same uncovered rows in the same order.
+func TestEntryCoveragePathsAgree(t *testing.T) {
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	entries := scenario.Table1()
+	// Include rows with values the vocabulary does not know.
+	entries = append(entries, audit.Entry{
+		User: "u9", Op: audit.Allow, Status: audit.Regular,
+		Data: "xray", Purpose: "treatment", Authorized: "doctor",
+	}, audit.Entry{
+		User: "u9", Op: audit.Allow, Status: audit.Regular,
+		Data: "clinical", Purpose: "treatment", Authorized: "doctor", // composite: never ground-covered
+	})
+	sym, err := EntryCoverage(ps, entries, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mat *EntryReport
+	withMaterialized(t, func() {
+		mat, err = EntryCoverage(ps, entries, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Coverage != mat.Coverage || sym.Covered != mat.Covered || sym.Total != mat.Total {
+		t.Fatalf("symbolic %+v, materialized %+v", sym, mat)
+	}
+	if len(sym.Uncovered) != len(mat.Uncovered) {
+		t.Fatalf("uncovered: %d vs %d rows", len(sym.Uncovered), len(mat.Uncovered))
+	}
+	for i := range sym.Uncovered {
+		if sym.Uncovered[i].Key() != mat.Uncovered[i].Key() {
+			t.Errorf("uncovered[%d]: %s vs %s", i, sym.Uncovered[i].Key(), mat.Uncovered[i].Key())
+		}
+	}
+}
+
+// TestPrunePathsAgree: Algorithm 6 keeps the identical pattern set on
+// both paths, including composite and vocabulary-foreign patterns.
+func TestPrunePathsAgree(t *testing.T) {
+	v := scenario.Vocabulary()
+	ps := scenario.PolicyStore()
+	mk := func(spec string) policy.Rule {
+		r, err := policy.ParseRule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	patterns := []Pattern{
+		{Rule: scenario.RefinementPattern(), Support: 5, DistinctUsers: 2},
+		{Rule: mk("data=demographic & purpose=billing & authorized=clerk"), Support: 7}, // covered composite
+		{Rule: mk("data=address & purpose=billing & authorized=clerk"), Support: 3},     // covered ground
+		{Rule: mk("data=clinical & purpose=treatment & authorized=doctor"), Support: 4}, // partially covered
+		{Rule: mk("data=xray & purpose=treatment & authorized=doctor"), Support: 2},     // foreign value
+	}
+	sym, err := Prune(patterns, ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mat []Pattern
+	withMaterialized(t, func() {
+		mat, err = Prune(patterns, ps, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sym) != len(mat) {
+		t.Fatalf("symbolic kept %d patterns, materialized %d", len(sym), len(mat))
+	}
+	for i := range sym {
+		if sym[i].Rule.Key() != mat[i].Rule.Key() {
+			t.Errorf("kept[%d]: %s vs %s", i, sym[i].Rule, mat[i].Rule)
+		}
+	}
+}
+
+// TestSymbolicCoverageScales: coverage over a synthetic vocabulary far
+// beyond the materializing range limit completes symbolically. A
+// branch-10 depth-5 data hierarchy has 100k leaves; one composite rule
+// over it crosses DefaultRangeLimit on its own.
+func TestSymbolicCoverageScales(t *testing.T) {
+	v := vocab.Synthetic(10, 5)
+	ps := policy.FromRules("big", policy.MustRule(
+		policy.T("data", "n0"),
+		policy.T("purpose", "treatment"),
+		policy.T("authorized", "nurse"),
+	))
+	// Materializing path refuses: the rule grounds to 100k rules times
+	// nothing else, fine — but the store against itself would, so pin
+	// the symbolic invariant instead: self-coverage is exactly 1.
+	c, err := ComputeCoverage(ps, ps, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Fatalf("self coverage = %v", c)
+	}
+	sym := policy.SharedSym.Range(ps, v)
+	if sym.Card() != 100_000 {
+		t.Fatalf("card = %d, want 100000", sym.Card())
+	}
+}

@@ -8,6 +8,14 @@
 // will re-derive, and a vocabulary subtree no rule can reach is a
 // coverage hole waiting for Algorithm 1 to report it in production.
 //
+// The range comparisons (PL003–PL006) run on the symbolic interval
+// algebra (policy.SymRule) by default: rule containment is a
+// cardinality comparison over per-attribute intervals, so the pass
+// scales to SNOMED/ICD-size vocabularies where a single composite
+// rule's ground Range is beyond materializing. The materializing path
+// is retained behind Options.Materialize as the differential oracle;
+// both paths emit identical findings wherever the oracle can run.
+//
 // Finding codes:
 //
 //	PL001 unknown-attribute   a rule term uses an attribute absent from the vocabulary
@@ -16,12 +24,15 @@
 //	PL004 duplicate-rule      two rules have identical Ranges (Definitions 6/8)
 //	PL005 subsumed-rule       a rule's Range is strictly contained in another's (Definition 8)
 //	PL006 unreachable-subtree a vocabulary subtree no rule's Range touches
+//	PL007 conflicting-rules   rules with different attribute signatures overlap on every shared attribute
+//	PL008 over-broad-rule     a term's ground set exceeds a configurable fraction of its attribute's ground space
 package lint
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/policy"
 	"repro/internal/vocab"
@@ -35,7 +46,36 @@ const (
 	DuplicateRule      = "PL004"
 	SubsumedRule       = "PL005"
 	UnreachableSubtree = "PL006"
+	ConflictingRules   = "PL007"
+	OverBroadRule      = "PL008"
 )
+
+// DefaultOverBroadFraction is the PL008 threshold when Options leaves
+// it unset: a term reaching more than 90% of its attribute's ground
+// space is indistinguishable from no constraint at all.
+const DefaultOverBroadFraction = 0.9
+
+// Options parameterizes a lint pass.
+type Options struct {
+	// Materialize switches PL003–PL006 onto the ground-range oracle
+	// path (Definition 8 by enumeration). The default symbolic path
+	// emits identical findings and is the only one that completes on
+	// large vocabularies; the oracle exists for differential testing.
+	Materialize bool
+	// OverBroadFraction is the PL008 threshold in (0, 1]: a rule term
+	// is over-broad when its ground set covers strictly more than this
+	// fraction of the attribute's ground space (and more than one
+	// value). Zero selects DefaultOverBroadFraction; a negative value
+	// disables PL008.
+	OverBroadFraction float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.OverBroadFraction == 0 {
+		o.OverBroadFraction = DefaultOverBroadFraction
+	}
+	return o
+}
 
 // Finding is one diagnostic about a policy/vocabulary pair.
 type Finding struct {
@@ -94,20 +134,34 @@ func (r Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// Policy lints p against v.
+// Policy lints p against v with default options.
 func Policy(p *policy.Policy, v *vocab.Vocabulary) Report {
-	return Rules(p.Name, p.Rules(), v)
+	return RulesOpts(p.Name, p.Rules(), v, Options{})
 }
 
-// Rules lints a bare rule list against v. Policy deduplicates on Add,
-// so fixtures exercising PL003/PL004 need this entry point; primactl
-// goes through Policy.
+// PolicyOpts lints p against v.
+func PolicyOpts(p *policy.Policy, v *vocab.Vocabulary, opts Options) Report {
+	return RulesOpts(p.Name, p.Rules(), v, opts)
+}
+
+// Rules lints a bare rule list against v with default options. Policy
+// deduplicates on Add, so fixtures exercising PL003/PL004 need this
+// entry point; primactl goes through Policy.
 func Rules(name string, rules []policy.Rule, v *vocab.Vocabulary) Report {
+	return RulesOpts(name, rules, v, Options{})
+}
+
+// RulesOpts lints a bare rule list against v.
+func RulesOpts(name string, rules []policy.Rule, v *vocab.Vocabulary, opts Options) Report {
+	opts = opts.withDefaults()
 	rep := Report{Policy: name, Rules: len(rules)}
 	add := func(f Finding) { rep.Findings = append(rep.Findings, f) }
 
-	// Per-rule checks (PL001, PL002, PL003) and Range computation.
-	ranges := make([]map[string]bool, len(rules))
+	// Per-rule vocabulary checks (PL001, PL002) plus symbolic
+	// compilation; every downstream analysis consumes the compiled
+	// boxes, the materializing oracle additionally enumerates.
+	syms := make([]policy.SymRule, len(rules))
+	valid := make([]bool, len(rules))
 	for i, r := range rules {
 		if r.IsZero() {
 			add(Finding{
@@ -132,6 +186,211 @@ func Rules(name string, rules []policy.Rule, v *vocab.Vocabulary) Report {
 				})
 			}
 		}
+		syms[i], valid[i] = policy.CompileRule(r, v)
+	}
+
+	// Range identity and containment (PL004, PL005): Definition 8
+	// makes the Range the semantic identity of a rule, so equal ranges
+	// mean duplicate rules and strict containment means subsumption.
+	if opts.Materialize {
+		materializedPairwise(rules, v, valid, add)
+	} else {
+		for i := 0; i < len(rules); i++ {
+			for j := i + 1; j < len(rules); j++ {
+				if !valid[i] || !valid[j] {
+					continue
+				}
+				inter := syms[i].IntersectCard(syms[j])
+				aInB, bInA := inter == syms[i].Card(), inter == syms[j].Card()
+				emitPairwise(rules, i, j, aInB, bInA, add)
+			}
+		}
+	}
+
+	// Conflicting rules (PL007, symbolic-only): two rules with
+	// *different* attribute signatures whose projections overlap on
+	// every shared attribute constrain overlapping accesses with
+	// non-comparable conditions — each is silent about the other's
+	// attributes, so the effective policy for the overlap is ambiguous.
+	for i := 0; i < len(rules); i++ {
+		for j := i + 1; j < len(rules); j++ {
+			if !valid[i] || !valid[j] || syms[i].Sig() == syms[j].Sig() {
+				continue
+			}
+			if conflicting(syms[i], syms[j]) {
+				add(Finding{
+					Code: ConflictingRules, Rule: j + 1,
+					Message: fmt.Sprintf("rule %s overlaps rule %d %s on every shared attribute but constrains a different attribute set; the rules conflict over the shared accesses", rules[j], i+1, rules[i]),
+				})
+			}
+		}
+	}
+
+	// Over-broad terms (PL008, symbolic-only): a term whose ground set
+	// exceeds the configured fraction of the attribute's entire ground
+	// space grants nearly everything the hierarchy can express.
+	if opts.OverBroadFraction > 0 {
+		for i, r := range rules {
+			if !valid[i] {
+				continue
+			}
+			for _, t := range r.Terms() {
+				h := v.Hierarchy(t.Attr)
+				if h == nil {
+					continue
+				}
+				ix := h.Intervals()
+				sp, ok := ix.Interval(t.Value)
+				if !ok || sp.Len() <= 1 {
+					continue
+				}
+				total := ix.LeafCount()
+				if total > 1 && float64(sp.Len()) > opts.OverBroadFraction*float64(total) {
+					add(Finding{
+						Code: OverBroadRule, Rule: i + 1, Attr: h.Attr(), Value: t.Value,
+						Message: fmt.Sprintf("term %s reaches %d of the %d ground values of %q (more than %.0f%%); the constraint is nearly vacuous", t, sp.Len(), total, h.Attr(), opts.OverBroadFraction*100),
+					})
+				}
+			}
+		}
+	}
+
+	// Unreachable vocabulary subtrees (PL006). For each attribute,
+	// collect the ground values any rule can reach; a maximal subtree
+	// whose ground set is disjoint from that is dead vocabulary —
+	// either obsolete taxonomy or a coverage hole. Findings are sorted
+	// by (attribute, value) so text and JSON output are stable across
+	// vocabulary registration order.
+	var vf []Finding
+	addVocab := func(f Finding) { vf = append(vf, f) }
+	if opts.Materialize {
+		materializedUnreachable(rules, v, addVocab)
+	} else {
+		symbolicUnreachable(rules, v, addVocab)
+	}
+	sort.SliceStable(vf, func(i, j int) bool {
+		if vf[i].Attr != vf[j].Attr {
+			return vf[i].Attr < vf[j].Attr
+		}
+		return vf[i].Value < vf[j].Value
+	})
+	rep.Findings = append(rep.Findings, vf...)
+
+	return rep
+}
+
+// emitPairwise translates a ⊆/⊇ pair into PL004/PL005 findings.
+func emitPairwise(rules []policy.Rule, i, j int, aInB, bInA bool, add func(Finding)) {
+	switch {
+	case aInB && bInA:
+		add(Finding{
+			Code: DuplicateRule, Rule: j + 1,
+			Message: fmt.Sprintf("rule %s has the same Range as rule %d %s (Definition 6 equivalence)", rules[j], i+1, rules[i]),
+		})
+	case bInA:
+		add(Finding{
+			Code: SubsumedRule, Rule: j + 1,
+			Message: fmt.Sprintf("rule %s is subsumed by rule %d %s (Definition 8 range containment)", rules[j], i+1, rules[i]),
+		})
+	case aInB:
+		add(Finding{
+			Code: SubsumedRule, Rule: i + 1,
+			Message: fmt.Sprintf("rule %s is subsumed by rule %d %s (Definition 8 range containment)", rules[i], j+1, rules[j]),
+		})
+	}
+}
+
+// conflicting reports whether two compiled rules of different
+// signatures overlap on every attribute they share (sharing at least
+// one).
+func conflicting(a, b policy.SymRule) bool {
+	aAttrs, bAttrs := a.Attrs(), b.Attrs()
+	shared := 0
+	ai, bi := 0, 0
+	for ai < len(aAttrs) && bi < len(bAttrs) {
+		switch {
+		case aAttrs[ai] == bAttrs[bi]:
+			if a.Set(ai).IntersectCard(b.Set(bi)) == 0 {
+				return false
+			}
+			shared++
+			ai++
+			bi++
+		case aAttrs[ai] < bAttrs[bi]:
+			ai++
+		default:
+			bi++
+		}
+	}
+	return shared > 0
+}
+
+// symbolicUnreachable walks each hierarchy against the interval union
+// of every rule value for that attribute: a subtree is reachable iff
+// its span overlaps the union. Foreign rule values reach no registered
+// leaf and contribute nothing.
+func symbolicUnreachable(rules []policy.Rule, v *vocab.Vocabulary, add func(Finding)) {
+	for _, attr := range v.Attributes() {
+		h := v.Hierarchy(attr)
+		ix := h.Intervals()
+		var covered []vocab.Span
+		referenced := false
+		for _, r := range rules {
+			if r.IsZero() {
+				continue
+			}
+			val, ok := r.Value(attr)
+			if !ok {
+				continue
+			}
+			referenced = true
+			if sp, ok := ix.Interval(val); ok {
+				covered = append(covered, sp)
+			}
+		}
+		if !referenced {
+			add(Finding{
+				Code: UnreachableSubtree, Attr: h.Attr(),
+				Message: fmt.Sprintf("no rule constrains attribute %q; its entire hierarchy is unreachable", h.Attr()),
+			})
+			continue
+		}
+		merged := vocab.MergeSpans(covered)
+		var walk func(n *vocab.Node)
+		walk = func(n *vocab.Node) {
+			sp, _ := ix.Interval(n.Value())
+			if !spansOverlap(merged, sp) {
+				add(Finding{
+					Code: UnreachableSubtree, Attr: h.Attr(), Value: n.Value(),
+					Message: fmt.Sprintf("subtree %q of attribute %q is not reachable by any rule's Range", n.Value(), h.Attr()),
+				})
+				return // report the maximal dead subtree only
+			}
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		for _, root := range h.Roots() {
+			walk(root)
+		}
+	}
+}
+
+// spansOverlap reports whether sp overlaps any of the sorted disjoint
+// spans.
+func spansOverlap(sorted []vocab.Span, sp vocab.Span) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Hi > sp.Lo })
+	return i < len(sorted) && sorted[i].Lo < sp.Hi
+}
+
+// materializedPairwise is the PL004/PL005 oracle: enumerate every
+// rule's ground range and compare by set containment.
+func materializedPairwise(rules []policy.Rule, v *vocab.Vocabulary, valid []bool, add func(Finding)) {
+	ranges := make([]map[string]bool, len(rules))
+	for i, r := range rules {
+		if !valid[i] {
+			continue
+		}
 		grounds, truncated := r.Groundings(v, policy.DefaultRangeLimit)
 		if truncated {
 			add(Finding{
@@ -146,41 +405,20 @@ func Rules(name string, rules []policy.Rule, v *vocab.Vocabulary) Report {
 		}
 		ranges[i] = set
 	}
-
-	// Pairwise Range comparison (PL004, PL005): Definition 8 makes the
-	// Range the semantic identity of a rule, so equal ranges mean
-	// duplicate rules and strict containment means subsumption.
 	for i := 0; i < len(rules); i++ {
 		for j := i + 1; j < len(rules); j++ {
 			a, b := ranges[i], ranges[j]
 			if a == nil || b == nil {
 				continue
 			}
-			aInB, bInA := contained(a, b), contained(b, a)
-			switch {
-			case aInB && bInA:
-				add(Finding{
-					Code: DuplicateRule, Rule: j + 1,
-					Message: fmt.Sprintf("rule %s has the same Range as rule %d %s (Definition 6 equivalence)", rules[j], i+1, rules[i]),
-				})
-			case bInA:
-				add(Finding{
-					Code: SubsumedRule, Rule: j + 1,
-					Message: fmt.Sprintf("rule %s is subsumed by rule %d %s (Definition 8 range containment)", rules[j], i+1, rules[i]),
-				})
-			case aInB:
-				add(Finding{
-					Code: SubsumedRule, Rule: i + 1,
-					Message: fmt.Sprintf("rule %s is subsumed by rule %d %s (Definition 8 range containment)", rules[i], j+1, rules[j]),
-				})
-			}
+			emitPairwise(rules, i, j, contained(a, b), contained(b, a), add)
 		}
 	}
+}
 
-	// Unreachable vocabulary subtrees (PL006). For each attribute,
-	// collect the ground values any rule can reach; a maximal subtree
-	// whose ground set is disjoint from that is dead vocabulary —
-	// either obsolete taxonomy or a coverage hole.
+// materializedUnreachable is the PL006 oracle over enumerated ground
+// sets.
+func materializedUnreachable(rules []policy.Rule, v *vocab.Vocabulary, add func(Finding)) {
 	for _, attr := range v.Attributes() {
 		h := v.Hierarchy(attr)
 		covered := make(map[string]bool)
@@ -219,8 +457,6 @@ func Rules(name string, rules []policy.Rule, v *vocab.Vocabulary) Report {
 			walk(root)
 		}
 	}
-
-	return rep
 }
 
 // contained reports a ⊆ b.

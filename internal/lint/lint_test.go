@@ -157,15 +157,19 @@ func TestSubsumedEarlierRule(t *testing.T) {
 func TestUnreachableSubtree(t *testing.T) {
 	v := fixtureVocab(t)
 	// Only rule 1 remains: referral (data), billing (purpose) and
-	// doctor (authorized) become unreachable subtrees.
+	// doctor (authorized) become unreachable subtrees. Vocabulary-level
+	// findings sort by (attribute, value), not registration order.
 	rep := Rules("PS", cleanRules(t)[:1], v)
 	assertCounts(t, rep, map[string]int{UnreachableSubtree: 3})
 	var values []string
 	for _, f := range rep.Findings {
+		if f.Attr == "" {
+			t.Errorf("vocabulary finding missing Attr: %+v", f)
+		}
 		values = append(values, f.Value)
 	}
 	got := strings.Join(values, ",")
-	if got != "referral,billing,doctor" {
+	if got != "doctor,referral,billing" {
 		t.Errorf("unreachable subtrees = %q", got)
 	}
 }

@@ -1,8 +1,11 @@
 package policy
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/vocab"
 )
 
 // FuzzDecodePolicy feeds arbitrary text through the policy text codec
@@ -41,4 +44,146 @@ func FuzzDecodePolicy(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzSymbolicVsMaterialized decodes a byte stream into a small random
+// vocabulary plus rule set and pins the symbolic algebra
+// (Card/IntersectCard/Subsumes/ContainsTriple) byte-identical to the
+// materializing oracle. The decoder is total: every input maps to some
+// valid fixture, so the fuzzer explores structure, not parse errors.
+func FuzzSymbolicVsMaterialized(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{7, 3, 9, 1, 200, 41, 17, 88, 5, 5, 5, 5, 250, 13, 66, 2})
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 9, 9, 9, 31, 64, 128, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := fuzzStream{data: data}
+		v, rulesA, rulesB := fz.fixture()
+
+		pa := FromRules("a", rulesA...)
+		pb := FromRules("b", rulesB...)
+		ra, err := NewRange(pa, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := NewRange(pb, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := NewSymRange(pa, v)
+		sb := NewSymRange(pb, v)
+
+		if got, want := sa.Card(), int64(ra.Len()); got != want {
+			t.Fatalf("Card(a) = %d, materialized %d\nrules: %v", got, want, rulesA)
+		}
+		if got, want := sb.Card(), int64(rb.Len()); got != want {
+			t.Fatalf("Card(b) = %d, materialized %d\nrules: %v", got, want, rulesB)
+		}
+		inter := int64(ra.IntersectCount(rb))
+		if got := sa.IntersectCard(sb); got != inter {
+			t.Fatalf("IntersectCard = %d, materialized %d\na: %v\nb: %v", got, inter, rulesA, rulesB)
+		}
+		if got := sb.IntersectCard(sa); got != inter {
+			t.Fatalf("IntersectCard not symmetric: %d vs %d", sb.IntersectCard(sa), inter)
+		}
+		if got, want := sa.Subsumes(sb), inter == int64(rb.Len()); got != want {
+			t.Fatalf("Subsumes = %v, materialized %v", got, want)
+		}
+		if got, want := sa.Disjoint(sb), inter == 0; got != want {
+			t.Fatalf("Disjoint = %v, materialized %v", got, want)
+		}
+		for _, r := range rulesB {
+			sr, ok := CompileRule(r, v)
+			if !ok {
+				continue
+			}
+			grounds, _ := r.Groundings(v, DefaultRangeLimit)
+			want := true
+			for _, g := range grounds {
+				if !ra.Contains(g) {
+					want = false
+					break
+				}
+			}
+			if got := sa.Covers(sr); got != want {
+				t.Fatalf("Covers(%s) = %v, materialized %v\na: %v", r, got, want, rulesA)
+			}
+		}
+	})
+}
+
+// fuzzStream turns an arbitrary byte slice into a deterministic
+// decision stream; exhausted streams return zero.
+type fuzzStream struct {
+	data []byte
+	pos  int
+}
+
+func (f *fuzzStream) byte() byte {
+	if f.pos >= len(f.data) {
+		return 0
+	}
+	b := f.data[f.pos]
+	f.pos++
+	return b
+}
+
+// fixture builds a small vocabulary (three attributes, up to ~10 nodes
+// each) and two rule sets of up to four rules whose values mix
+// registered composites, leaves, and foreign strings.
+func (f *fuzzStream) fixture() (*vocab.Vocabulary, []Rule, []Rule) {
+	v := vocab.New()
+	attrs := []string{"data", "purpose", "authorized"}
+	values := make(map[string][]string)
+	for _, attr := range attrs {
+		h := v.MustAttribute(attr)
+		n := 1 + int(f.byte())%9
+		names := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("%s%d", attr[:1], i)
+			parent := ""
+			if len(names) > 0 {
+				// byte()%(len+1): 0 = new root, else child of an earlier node.
+				if k := int(f.byte()) % (len(names) + 1); k > 0 {
+					parent = names[k-1]
+				}
+			}
+			h.MustAdd(parent, name)
+			names = append(names, name)
+		}
+		values[attr] = names
+	}
+	mkRules := func() []Rule {
+		n := int(f.byte()) % 4
+		rules := make([]Rule, 0, n)
+		for i := 0; i < n; i++ {
+			mask := f.byte()
+			var terms []Term
+			for j, attr := range attrs {
+				if mask&(1<<j) == 0 {
+					continue
+				}
+				pool := values[attr]
+				pick := int(f.byte()) % (len(pool) + 2)
+				var val string
+				if pick < len(pool) {
+					val = pool[pick]
+				} else {
+					val = fmt.Sprintf("foreign%d", pick-len(pool)) // unknown to the hierarchy
+				}
+				terms = append(terms, T(attr, val))
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			r, err := NewRule(terms...)
+			if err != nil {
+				continue
+			}
+			rules = append(rules, r)
+		}
+		return rules
+	}
+	return v, mkRules(), mkRules()
 }

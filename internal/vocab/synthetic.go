@@ -1,0 +1,59 @@
+package vocab
+
+import "strconv"
+
+// Synthetic builds a SNOMED/ICD-scale benchmark vocabulary: a data
+// hierarchy that is a complete branch-ary tree of the given depth
+// (node count (branch^(depth+1)-1)/(branch-1), leaves branch^depth)
+// next to the paper's fixed purpose and authorized hierarchies, so
+// composite policies over it are directly comparable with the Figure 1
+// fixtures. Data nodes are named n0 (the root), n1, n2, ... in
+// breadth-first order: the children of n<i> are n<i*branch+1> through
+// n<i*branch+branch>.
+//
+// Synthetic(10, 5) is the canonical 100k-leaf workload used by E14 and
+// `primactl vocab -gen 10x5`.
+func Synthetic(branch, depth int) *Vocabulary {
+	if branch < 1 {
+		branch = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	v := New()
+	h := v.MustAttribute("data")
+	h.MustAdd("", "n0")
+	frontier := []string{"n0"}
+	id := 0
+	for d := 0; d < depth; d++ {
+		next := make([]string, 0, len(frontier)*branch)
+		for _, p := range frontier {
+			for b := 0; b < branch; b++ {
+				id++
+				name := "n" + strconv.Itoa(id)
+				h.MustAdd(p, name)
+				next = append(next, name)
+			}
+		}
+		frontier = next
+	}
+
+	purpose := v.MustAttribute("purpose")
+	purpose.MustAdd("", "healthcare")
+	purpose.MustAdd("healthcare", "treatment")
+	purpose.MustAdd("healthcare", "registration")
+	purpose.MustAdd("healthcare", "billing")
+	purpose.MustAdd("", "research")
+	purpose.MustAdd("", "telemarketing")
+
+	auth := v.MustAttribute("authorized")
+	auth.MustAdd("", "medical_staff")
+	auth.MustAdd("medical_staff", "doctor")
+	auth.MustAdd("medical_staff", "psychiatrist")
+	auth.MustAdd("medical_staff", "nurse")
+	auth.MustAdd("medical_staff", "lab_tech")
+	auth.MustAdd("", "admin_staff")
+	auth.MustAdd("admin_staff", "clerk")
+	auth.MustAdd("admin_staff", "manager")
+	return v
+}

@@ -71,6 +71,10 @@ type Hierarchy struct {
 	// sync.Map because range expansion reads it from worker
 	// goroutines concurrently.
 	groundMemo sync.Map // string -> []string
+
+	// icache publishes the Euler-tour interval numbering (interval.go),
+	// validated against the owner's generation counter.
+	icache intervalCache
 }
 
 // Attr returns the display form of the attribute name.

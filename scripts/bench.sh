@@ -8,8 +8,11 @@
 # named BENCH_<pr>.json.
 #
 # The -bench=. sweep includes the enforcement fast-path rows
-# (E12_EnforcedQPS, E13_ConcurrentEnforcement); check.sh smokes the
-# same set at one iteration so the harness cannot rot.
+# (E12_EnforcedQPS, E13_ConcurrentEnforcement) and the symbolic
+# policy-analysis row (E14_SymbolicAnalysis — coverage and lint on a
+# 100k-ground-value vocabulary, plus the symbolic-vs-materialized
+# differential floor); check.sh smokes the same set at one iteration
+# so the harness cannot rot.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -79,6 +79,8 @@ type (
 	LintFinding = lint.Finding
 	// LintReport is the outcome of linting a policy against a vocabulary.
 	LintReport = lint.Report
+	// LintOptions parameterizes a lint pass (oracle path, PL008 threshold).
+	LintOptions = lint.Options
 )
 
 // Reviewer decisions.
@@ -111,6 +113,11 @@ var AdoptAll = core.AdoptAll
 
 // SampleVocabulary returns the paper's Figure 1 vocabulary.
 func SampleVocabulary() *Vocabulary { return vocab.Sample() }
+
+// SyntheticVocabulary builds a SNOMED/ICD-scale benchmark vocabulary:
+// a complete branch-ary data hierarchy of the given depth next to the
+// paper's purpose and authorized hierarchies.
+func SyntheticVocabulary(branch, depth int) *Vocabulary { return vocab.Synthetic(branch, depth) }
 
 // ParseVocabulary reads a vocabulary in the indented text format.
 func ParseVocabulary(r io.Reader) (*Vocabulary, error) { return vocab.ParseText(r) }
@@ -210,5 +217,22 @@ func EvaluateExtraction(found, informal, violations []Rule) ExtractionScore {
 
 // Lint statically analyzes a policy store against a vocabulary,
 // reporting unknown attributes/values, empty-Range rules,
-// duplicate/subsumed rules, and unreachable vocabulary subtrees.
+// duplicate/subsumed/conflicting/over-broad rules, and unreachable
+// vocabulary subtrees.
 func Lint(p *Policy, v *Vocabulary) LintReport { return lint.Policy(p, v) }
+
+// LintOpts is Lint with explicit options.
+func LintOpts(p *Policy, v *Vocabulary, opts LintOptions) LintReport {
+	return lint.PolicyOpts(p, v, opts)
+}
+
+// SetSymbolicCoverage selects the symbolic (true, default) or
+// materializing coverage path for ComputeCoverage, EntryCoverage, and
+// refinement pruning, returning the previous setting.
+func SetSymbolicCoverage(on bool) bool { return core.SetSymbolicCoverage(on) }
+
+// SymbolicRangeCard returns #Range_P computed symbolically — exact at
+// any vocabulary scale, never materializing a ground rule.
+func SymbolicRangeCard(p *Policy, v *Vocabulary) int64 {
+	return policy.SharedSym.Range(p, v).Card()
+}
