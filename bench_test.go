@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -1169,6 +1170,248 @@ func BenchmarkE13_ConcurrentEnforcement(b *testing.B) {
 			b.StopTimer()
 			stop.Store(true)
 			wg.Wait()
+		})
+	}
+}
+
+// ---- E15: mining at audit scale (parallel FP-growth, incremental epochs) ----
+
+// miningPool returns n synthetic practice rows shaped like a
+// consolidated hospital log: every row is exception-based informal
+// practice over a bounded behaviour vocabulary (12 data x 8 purpose x
+// 6 role = 576 distinct projections, 24 staff, each projection
+// exercised by many staff so the MinDistinctUsers filter passes).
+// Field strings are shared, so the pool costs one Entry per row and
+// the benchmarks measure mining, not fmt.
+func miningPool(n int) []audit.Entry {
+	mk := func(prefix string, k int) []string {
+		out := make([]string, k)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s%d", prefix, i)
+		}
+		return out
+	}
+	dataVals, purposeVals, roleVals := mk("lab", 12), mk("task", 8), mk("role", 6)
+	staff := mk("u", 24)
+	base := time.Date(2007, 3, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]audit.Entry, n)
+	for i := range out {
+		out[i] = audit.Entry{
+			Time: base.Add(time.Duration(i) * time.Second), Op: audit.Allow,
+			User:       staff[(i+i/576)%len(staff)],
+			Data:       dataVals[i%12],
+			Purpose:    purposeVals[(i/12)%8],
+			Authorized: roleVals[(i/96)%6],
+			Status:     audit.Exception,
+		}
+	}
+	return out
+}
+
+// basketTxs builds a market-basket workload that separates the two
+// mining engines algorithmically: every transaction holds perHot items
+// from a small co-occurring alphabet plus perCold items smeared over a
+// large one. All singles clear the support threshold, so Apriori's
+// pair-candidate scan is quadratic in the alphabet while FP-growth
+// reads the same answer off one prefix tree.
+func basketTxs(txs, hot, cold, perHot, perCold int, seed int64) []mining.Transaction {
+	rng := rand.New(rand.NewSource(seed))
+	sample := func(attr string, n, k int, dst mining.Transaction) mining.Transaction {
+		seen := make(map[int]bool, k)
+		for len(seen) < k {
+			i := rng.Intn(n)
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			dst = append(dst, mining.Item{Attr: attr, Value: fmt.Sprintf("%s%d", attr, i)})
+		}
+		return dst
+	}
+	out := make([]mining.Transaction, txs)
+	for t := range out {
+		tx := sample("proc", hot, perHot, nil)
+		out[t] = sample("med", cold, perCold, tx)
+	}
+	return out
+}
+
+// denseTxs biases items toward low indexes (triangular distribution)
+// so the FP-tree grows deep shared prefixes and a multi-level frequent
+// lattice — the conditional pattern-growth pool's heaviest shape.
+func denseTxs(n, alphabet, per int, seed int64) []mining.Transaction {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]mining.Transaction, n)
+	for t := range out {
+		seen := make(map[int]bool, per)
+		var tx mining.Transaction
+		for len(seen) < per {
+			i := rng.Intn(alphabet)
+			if j := rng.Intn(alphabet); j < i {
+				i = j
+			}
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			tx = append(tx, mining.Item{Attr: "op", Value: fmt.Sprintf("op%d", i)})
+		}
+		out[t] = tx
+	}
+	return out
+}
+
+// rescanOnly hides mining.Extractor's incremental and log-fed method
+// sets, forcing the stream session onto its legacy path: re-accumulate
+// the practice rows and run the full batch extraction every epoch.
+// That is the pre-FP-growth cost model E15's epoch series compares
+// against.
+type rescanOnly struct{ inner core.PatternExtractor }
+
+func (r rescanOnly) Extract(practice []audit.Entry, opts core.Options) ([]core.Pattern, error) {
+	return r.inner.Extract(practice, opts)
+}
+
+// BenchmarkE15_MiningScale is the mining-at-audit-scale experiment:
+//
+//   - mine/rows=N/engine — one-shot batch extraction over N practice
+//     rows (fold + mine + evidence); both engines share the interned
+//     transaction table, so this measures end-to-end epoch cost.
+//   - baskets/engine — the engines' algorithmic separation on a dense
+//     candidate-explosion workload (Apriori's L2 scan vs one FP-tree).
+//   - epoch/rows=N — streaming refinement epochs over an N-row log:
+//     the incremental FP-growth path folds only the ~1k new rows into
+//     persistent per-shard state, while the rescan path re-extracts
+//     the cumulative practice. Flat incremental ns/op as N grows is
+//     the headline; rows=10000000 is gated behind PRIMA_BENCH_FULL=1
+//     to keep default runs small.
+//   - fptree/procs=P — parallel per-shard tree build + pattern-growth
+//     worker pool at GOMAXPROCS 1/4/8 (flat ns/op on a single-core
+//     host; near-linear tree mining on multi-core).
+func BenchmarkE15_MiningScale(b *testing.B) {
+	v := scenario.Vocabulary()
+	practice := miningPool(1000000)
+	engines := []struct {
+		name string
+		x    core.PatternExtractor
+	}{
+		{"apriori", mining.Extractor{}},
+		{"fpgrowth", mining.FPGrowth{}},
+	}
+	for _, n := range []int{100000, 1000000} {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("mine/rows=%d/%s", n, eng.name), func(b *testing.B) {
+				rows := practice[:n]
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pats, err := eng.x.Extract(rows, core.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(pats) == 0 {
+						b.Fatal("no patterns")
+					}
+				}
+			})
+		}
+	}
+
+	baskets := basketTxs(3000, 20, 100, 3, 4, 11)
+	for _, m := range []struct {
+		name  string
+		miner mining.Miner
+	}{
+		{"apriori", mining.AprioriMiner{}},
+		{"fpgrowth", mining.FPGrowth{}},
+	} {
+		b.Run("baskets/"+m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := m.miner.Mine(baskets, 50)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Frequent) == 0 {
+					b.Fatal("no frequent itemsets")
+				}
+			}
+		})
+	}
+
+	investigate := core.ReviewerFunc(func(core.Pattern) core.Decision {
+		return core.Investigate
+	})
+	// epoch measures one streaming refinement round while ~1k fresh
+	// rows arrive per epoch. Each variant builds its own log so the
+	// rescan baseline is not inflated by rows the incremental variant
+	// appended.
+	epoch := func(b *testing.B, n int, x core.PatternExtractor) {
+		b.Helper()
+		l := audit.NewLog("ward")
+		batch := make([]audit.Entry, 0, 1024)
+		for i := 0; i < n; i++ {
+			batch = append(batch, practice[i%len(practice)])
+			if len(batch) == cap(batch) || i == n-1 {
+				if err := l.Append(batch...); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		sess := core.NewStreamSession(l, scenario.PolicyStore(), v, core.Options{Extractor: x})
+		if _, err := sess.Run(investigate); err != nil { // bulk-fold the backlog untimed
+			b.Fatal(err)
+		}
+		next := n
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch = batch[:0]
+			for j := 0; j < 1024; j++ {
+				batch = append(batch, practice[(next+j)%len(practice)])
+			}
+			next += len(batch)
+			if err := l.Append(batch...); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Run(investigate); err != nil {
+				b.Fatal(err)
+			}
+			sess.History = sess.History[:0]
+		}
+	}
+	for _, n := range []int{100000, 1000000, 10000000} {
+		b.Run(fmt.Sprintf("epoch/rows=%d", n), func(b *testing.B) {
+			if n > len(practice) && os.Getenv("PRIMA_BENCH_FULL") == "" {
+				b.Skip("10M-row epoch series: set PRIMA_BENCH_FULL=1")
+			}
+			b.Run("incremental-fpgrowth", func(b *testing.B) {
+				epoch(b, n, mining.FPGrowth{})
+			})
+			b.Run("apriori-rescan", func(b *testing.B) {
+				epoch(b, n, rescanOnly{inner: mining.Extractor{}})
+			})
+		})
+	}
+
+	dense := denseTxs(6000, 40, 10, 5)
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("fptree/procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			fp := mining.FPGrowth{Workers: procs}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fp.Mine(dense, 300)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Frequent) == 0 {
+					b.Fatal("no frequent itemsets")
+				}
+			}
 		})
 	}
 }

@@ -39,6 +39,9 @@ func TestHarnessReproducesPaper(t *testing.T) {
 		"extraction precision 1.00, recall 1.00",
 		"| naive adopt-all | 0.50 | 1.00 |",
 		"| suspicion reviewer | 1.00 | 1.00 |",
+		"E15 — mining at audit scale",
+		"identical=true",
+		"epoch patterns identical across engines: 576 per round",
 		"all paper artifacts reproduced",
 	} {
 		if !strings.Contains(out, want) {

@@ -242,6 +242,73 @@ func cmdRefine(args []string) error {
 	return nil
 }
 
+// cmdPatterns mines frequent-itemset patterns from an audit log with
+// a selectable engine (the FP-growth scale engine by default, the
+// Apriori oracle via -engine apriori). Unlike refine it does not need
+// a policy store: with -policy it prunes covered patterns, without it
+// every mined pattern prints.
+func cmdPatterns(args []string) error {
+	fs := flag.NewFlagSet("patterns", flag.ContinueOnError)
+	vocabFile := fs.String("vocab", "", "vocabulary file (default: paper sample)")
+	policyFile := fs.String("policy", "", "policy store file (optional: prune covered patterns)")
+	auditFile := fs.String("audit", "", "audit log file, .jsonl or .csv (required)")
+	engine := fs.String("engine", "fpgrowth", "mining engine: fpgrowth or apriori")
+	support := fs.Int("support", 5, "threshold frequency f")
+	users := fs.Int("users", 2, "minimum distinct users")
+	partial := fs.Bool("partial", false, "keep partial-width itemsets (correlations SQL misses)")
+	workers := fs.Int("workers", 0, "fpgrowth pattern-growth workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *auditFile == "" {
+		return fmt.Errorf("patterns requires -audit")
+	}
+	var extractor prima.PatternExtractor
+	switch *engine {
+	case "fpgrowth":
+		extractor = prima.FPGrowthExtractor(*partial, *workers)
+	case "apriori":
+		extractor = prima.MiningExtractor(*partial)
+	default:
+		return fmt.Errorf("patterns: unknown -engine %q (want fpgrowth or apriori)", *engine)
+	}
+	v, err := loadVocab(*vocabFile)
+	if err != nil {
+		return err
+	}
+	ps := prima.NewPolicy("PS")
+	if *policyFile != "" {
+		if ps, err = loadPolicy("PS", *policyFile); err != nil {
+			return err
+		}
+	}
+	entries, err := loadAudit(*auditFile)
+	if err != nil {
+		return err
+	}
+	opts := prima.RefineOptions{
+		MinSupport:       *support,
+		MinDistinctUsers: *users,
+		Extractor:        extractor,
+	}
+	patterns, err := prima.Refine(ps, entries, v, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine: %s, %d audit rows\n", *engine, len(entries))
+	if len(patterns) == 0 {
+		fmt.Println("no frequent patterns")
+		return nil
+	}
+	fmt.Printf("patterns (%d):\n", len(patterns))
+	for _, p := range patterns {
+		fmt.Printf("  %s  support=%d users=%d window=%s..%s\n",
+			p.Rule.Compact(), p.Support, p.DistinctUsers,
+			p.FirstSeen.Format("2006-01-02"), p.LastSeen.Format("2006-01-02"))
+	}
+	return nil
+}
+
 func cmdGeneralize(args []string) error {
 	fs := flag.NewFlagSet("generalize", flag.ContinueOnError)
 	vocabFile := fs.String("vocab", "", "vocabulary file (default: paper sample)")

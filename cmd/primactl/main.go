@@ -8,6 +8,7 @@
 //	primactl demo table1                    reproduce the §5 / Table 1 walk-through
 //	primactl coverage -vocab V -policy P -audit A
 //	primactl refine   -vocab V -policy P -audit A [-support 5] [-users 2] [-adopt -out P']
+//	primactl patterns -audit A [-engine fpgrowth|apriori] [-policy P] [-partial]
 //	primactl generalize -vocab V -policy P [-out P']
 //	primactl report   -vocab V -policy P -audit A [-title T]
 //	primactl lint     -vocab V -policy P [-json] [-overbroad F] [-materialize]
@@ -63,6 +64,8 @@ func run(args []string) error {
 		return cmdCoverage(args[1:])
 	case "refine":
 		return cmdRefine(args[1:])
+	case "patterns":
+		return cmdPatterns(args[1:])
 	case "vocab":
 		return cmdVocab(args[1:])
 	case "generalize":
@@ -72,7 +75,7 @@ func run(args []string) error {
 	case "lint":
 		return cmdLint(args[1:])
 	case "help", "-h", "--help":
-		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, generalize, report, lint, vocab")
+		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, patterns, generalize, report, lint, vocab")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

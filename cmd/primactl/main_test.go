@@ -151,6 +151,65 @@ func TestRefineCommand(t *testing.T) {
 	}
 }
 
+func TestPatternsCommand(t *testing.T) {
+	ps, jsonl, _ := writeFixtures(t)
+	// Both engines on the Table 1 log must print the same pattern.
+	var outputs []string
+	for _, engine := range []string{"fpgrowth", "apriori"} {
+		out, err := capture(t, func() error {
+			return run([]string{"patterns", "-audit", jsonl, "-engine", engine})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{
+			"engine: " + engine,
+			"authorized=Nurse & data=Referral & purpose=Registration",
+			"support=5 users=3",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q:\n%s", engine, want, out)
+			}
+		}
+		outputs = append(outputs, strings.SplitN(out, "\n", 2)[1])
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("engines print different patterns:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+	// -partial surfaces narrower correlations too.
+	out, err := capture(t, func() error {
+		return run([]string{"patterns", "-audit", jsonl, "-partial", "-support", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "data=Referral & purpose=Registration  support=") {
+		t.Errorf("partial correlation missing:\n%s", out)
+	}
+	// -policy prunes: after adopting the pattern there is nothing left.
+	refined := filepath.Join(t.TempDir(), "refined.txt")
+	if _, err := capture(t, func() error {
+		return run([]string{"refine", "-policy", ps, "-audit", jsonl, "-adopt", "-out", refined})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"patterns", "-audit", jsonl, "-policy", refined})
+	})
+	if err != nil || !strings.Contains(out, "no frequent patterns") {
+		t.Errorf("pruned patterns: %v\n%s", err, out)
+	}
+	// Engine and flag errors.
+	if _, err := capture(t, func() error {
+		return run([]string{"patterns", "-audit", jsonl, "-engine", "bogus"})
+	}); err == nil {
+		t.Error("bogus engine accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"patterns"}) }); err == nil {
+		t.Error("patterns without -audit accepted")
+	}
+}
+
 func TestGeneralizeCommand(t *testing.T) {
 	dir := t.TempDir()
 	ps := filepath.Join(dir, "leaves.txt")

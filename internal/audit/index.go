@@ -210,6 +210,67 @@ func (l *Log) Groups() []Group {
 	return out
 }
 
+// PracticeGroup is one shard's accumulator for a (data, purpose,
+// authorized) group restricted to practice rows (exception-based
+// allows) — the transaction feed for index-fed mining. Unlike Group
+// it is NOT merged across shards: mining engines fold the per-shard
+// slices into their own sharded transaction tables concurrently, and
+// the weighted fold makes the merge implicit.
+type PracticeGroup struct {
+	Data       string // raw column values, the GROUP BY identity
+	Purpose    string
+	Authorized string
+
+	Weight int       // practice rows in the group within this shard
+	Users  []string  // distinct raw users among those rows, sorted
+	First  time.Time // practice window within this shard
+	Last   time.Time
+}
+
+// PracticeShards returns the practice groups per audit shard, each
+// shard's slice sorted by the raw group identity. Cost is O(groups),
+// not O(entries); only groups with at least one practice row appear.
+// This is the shard-parallel feed for mining extractors that can run
+// from the incremental index instead of a materialized snapshot.
+func (l *Log) PracticeShards() [][]PracticeGroup {
+	out := make([][]PracticeGroup, len(l.shards))
+	for i, sh := range l.shards {
+		sh.mu.RLock()
+		gs := make([]PracticeGroup, 0, len(sh.groups))
+		for k, g := range sh.groups {
+			if g.practice == 0 {
+				continue
+			}
+			users := make([]string, 0, len(g.users))
+			for u := range g.users {
+				users = append(users, u)
+			}
+			sort.Strings(users)
+			gs = append(gs, PracticeGroup{
+				Data:       k.data,
+				Purpose:    k.purpose,
+				Authorized: k.authorized,
+				Weight:     g.practice,
+				Users:      users,
+				First:      g.first,
+				Last:       g.last,
+			})
+		}
+		sh.mu.RUnlock()
+		sort.Slice(gs, func(a, b int) bool {
+			if gs[a].Data != gs[b].Data {
+				return gs[a].Data < gs[b].Data
+			}
+			if gs[a].Purpose != gs[b].Purpose {
+				return gs[a].Purpose < gs[b].Purpose
+			}
+			return gs[a].Authorized < gs[b].Authorized
+		})
+		out[i] = gs
+	}
+	return out
+}
+
 // Summary returns the log-wide Stats from the incremental index in
 // O(shards + users) — equivalent to Summarize(l.Snapshot()) without
 // materializing a snapshot.

@@ -121,9 +121,48 @@ func GroupCoverage(ps *policy.Policy, groups []audit.Group, v *vocab.Vocabulary)
 	return rep, nil
 }
 
+// IncrementalState is persistent per-session extractor state for
+// streaming refinement: each epoch folds only the newly appended
+// practice rows and extracts from the accumulated state, so epoch
+// cost does not grow with log history. Implementations must produce
+// exactly what their batch Extract would over the concatenation of
+// every Fold since the last Reset.
+type IncrementalState interface {
+	// Fold absorbs newly appended practice entries (already filtered
+	// to exception-based allows, in append order).
+	Fold(practice []audit.Entry) error
+	// Extract mines everything folded so far.
+	Extract() ([]Pattern, error)
+	// Reset discards the accumulated state; the feeding cursor was
+	// invalidated by a structural log change and the next Fold
+	// restarts from the beginning.
+	Reset()
+}
+
+// IncrementalExtractor is implemented by pattern extractors that can
+// maintain IncrementalState across epochs. StreamSession recognizes
+// it and feeds the state from the log's delta cursor instead of
+// re-running the batch extractor over re-accumulated history.
+type IncrementalExtractor interface {
+	PatternExtractor
+	NewIncremental(opts Options) (IncrementalState, error)
+}
+
+// LogExtractor is implemented by pattern extractors that can serve a
+// one-shot extraction straight from the audit log's incremental
+// per-group index, without a materialized snapshot. served is false
+// when the options cannot be index-fed (e.g. non-default attributes)
+// and the caller must fall back to the snapshot pipeline.
+type LogExtractor interface {
+	PatternExtractor
+	ExtractLog(l *audit.Log, opts Options) (patterns []Pattern, served bool, err error)
+}
+
 // RefineFromLog is Algorithm 2 over a live audit log: analysis from
-// the incremental index when the options allow it, otherwise the
-// sequential pipeline over a snapshot.
+// the incremental index when the options allow it — either directly
+// (the default SQL analysis is the index's GROUP BY) or through an
+// index-capable extractor — otherwise the sequential pipeline over a
+// snapshot.
 func RefineFromLog(ps *policy.Policy, l *audit.Log, v *vocab.Vocabulary, opts Options) ([]Pattern, error) {
 	if IndexExtractable(opts) {
 		patterns, err := PatternsFromGroups(l.Groups(), opts)
@@ -131,6 +170,19 @@ func RefineFromLog(ps *policy.Policy, l *audit.Log, v *vocab.Vocabulary, opts Op
 			return nil, err
 		}
 		return Prune(patterns, ps, v)
+	}
+	o := opts.withDefaults()
+	if le, ok := o.Extractor.(LogExtractor); ok {
+		if err := checkAttrs(o.Attrs); err != nil {
+			return nil, err
+		}
+		patterns, served, err := le.ExtractLog(l, o)
+		if err != nil {
+			return nil, err
+		}
+		if served {
+			return Prune(patterns, ps, v)
+		}
 	}
 	return Refinement(ps, l.Snapshot(), v, opts)
 }
@@ -153,11 +205,13 @@ type StreamSession struct {
 	// not resurface behaviour already ruled bad practice.
 	rejected map[string]bool
 
-	// cursor/practice feed the fallback (custom-extractor) path:
-	// practice accumulates Filter-surviving entries across rounds and
-	// cursor marks how far the log has been consumed.
+	// cursor/practice feed the custom-extractor paths: cursor marks
+	// how far the log has been consumed. Incremental extractors fold
+	// each round's delta into inc; for plain batch extractors,
+	// practice re-accumulates the Filter-surviving entries instead.
 	cursor   audit.Cursor
 	practice []audit.Entry
+	inc      IncrementalState
 }
 
 // NewStreamSession starts a streaming refinement session over the
@@ -186,9 +240,33 @@ func (s *StreamSession) Run(reviewer Reviewer) (Round, error) {
 	round.CoverageBefore = before.Coverage
 
 	var patterns []Pattern
-	if IndexExtractable(s.Opts) {
+	o := s.Opts.withDefaults()
+	ix, incremental := o.Extractor.(IncrementalExtractor)
+	switch {
+	case IndexExtractable(s.Opts):
 		patterns, err = PatternsFromGroups(groups, s.Opts)
-	} else {
+	case incremental:
+		// Index-servable mining path: persistent extractor state fed
+		// by the delta cursor — each epoch folds only the rows
+		// appended since the last one.
+		if s.inc == nil {
+			if err = checkAttrs(o.Attrs); err != nil {
+				return Round{}, err
+			}
+			if s.inc, err = ix.NewIncremental(o); err != nil {
+				return Round{}, err
+			}
+		}
+		var delta []audit.Entry
+		var resync bool
+		delta, s.cursor, resync = s.Log.Delta(s.cursor)
+		if resync {
+			s.inc.Reset()
+		}
+		if err = s.inc.Fold(Filter(delta)); err == nil {
+			patterns, err = s.inc.Extract()
+		}
+	default:
 		var delta []audit.Entry
 		var resync bool
 		delta, s.cursor, resync = s.Log.Delta(s.cursor)

@@ -1,11 +1,18 @@
 // Package mining implements frequent-itemset and association-rule
-// mining with the Apriori algorithm of Agrawal & Srikant (VLDB 1994),
-// the paper's reference [18]. PRIMA's §5 proposes it as the
-// data-analysis upgrade that detects correlations between attribute
-// pairs "that are not discovered by simple SQL queries": the exact
-// GROUP BY of Algorithm 5 only finds full-width rules, while Apriori
-// also surfaces frequent sub-rules (e.g. every purpose under which a
-// role touches one data category).
+// mining for PRIMA's §5 data-analysis upgrade: the Apriori algorithm
+// of Agrawal & Srikant (VLDB 1994, the paper's reference [18]) as the
+// reference oracle, and an FP-growth engine (fpgrowth.go) for audit
+// scale. §5 proposes itemset mining to detect correlations between
+// attribute pairs "that are not discovered by simple SQL queries":
+// the exact GROUP BY of Algorithm 5 only finds full-width rules,
+// while frequent sub-rules (e.g. every purpose under which a role
+// touches one data category) need the itemset lattice.
+//
+// Both engines run over interned integer item ids and a weighted
+// distinct-transaction table (intern.go), so the normalized key of
+// each item is computed once per mining run instead of twice per
+// comparison, and repeated audit projections collapse into one
+// weighted row.
 package mining
 
 import (
@@ -30,17 +37,30 @@ func (it Item) key() string {
 // Itemset is a set of items, kept sorted by key.
 type Itemset []Item
 
-// NewItemset builds a normalized itemset (sorted, deduplicated).
+// NewItemset builds a normalized itemset (sorted, deduplicated; the
+// last spelling of a duplicated key wins). Keys are computed once per
+// item, not per comparison.
 func NewItemset(items ...Item) Itemset {
-	set := make(map[string]Item, len(items))
+	type keyed struct {
+		key string
+		it  Item
+	}
+	ks := make([]keyed, 0, len(items))
+	idx := make(map[string]int, len(items))
 	for _, it := range items {
-		set[it.key()] = it
+		k := it.key()
+		if i, ok := idx[k]; ok {
+			ks[i].it = it
+			continue
+		}
+		idx[k] = len(ks)
+		ks = append(ks, keyed{key: k, it: it})
 	}
-	out := make(Itemset, 0, len(set))
-	for _, it := range set {
-		out = append(out, it)
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make(Itemset, len(ks))
+	for i, k := range ks {
+		out[i] = k.it
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
 	return out
 }
 
@@ -66,11 +86,20 @@ func (s Itemset) String() string {
 func (s Itemset) Contains(sub Itemset) bool {
 	i := 0
 	for _, it := range sub {
-		for i < len(s) && s[i].key() < it.key() {
-			i++
-		}
-		if i >= len(s) || s[i].key() != it.key() {
-			return false
+		k := it.key()
+		for {
+			if i >= len(s) {
+				return false
+			}
+			sk := s[i].key()
+			if sk < k {
+				i++
+				continue
+			}
+			if sk != k {
+				return false
+			}
+			break
 		}
 	}
 	return true
@@ -114,102 +143,148 @@ func (r *Result) OfSize(k int) []Frequent {
 	return out
 }
 
+// Miner is a frequent-itemset mining engine. Apriori and FP-growth
+// both satisfy it and are differentially tested to produce identical
+// Results on every input.
+type Miner interface {
+	Mine(txs []Transaction, minSupport int) (*Result, error)
+}
+
+// AprioriMiner is the levelwise generate-and-test engine behind the
+// Apriori function, as a Miner.
+type AprioriMiner struct{}
+
+// Mine implements Miner.
+func (AprioriMiner) Mine(txs []Transaction, minSupport int) (*Result, error) {
+	return Apriori(txs, minSupport)
+}
+
 // Apriori mines all itemsets with support >= minSupport (absolute
 // count). It is the levelwise algorithm of Agrawal & Srikant: L1 from
 // a scan, then candidate generation by joining L(k-1) with itself,
 // pruning candidates with any infrequent (k-1)-subset, and a support
-// scan per level.
+// scan per level — run over interned ids and weighted distinct
+// transactions. It is kept as the reference oracle for FP-growth.
 func Apriori(txs []Transaction, minSupport int) (*Result, error) {
 	if minSupport < 1 {
-		return nil, fmt.Errorf("mining: minSupport must be >= 1, got %d", minSupport)
+		return nil, errMinSupport(minSupport)
 	}
-	res := &Result{Transactions: len(txs), MinSupport: minSupport}
-
-	// L1.
-	counts := make(map[string]int)
-	first := make(map[string]Item)
+	t := newTxTable(1, false)
 	for _, tx := range txs {
-		for _, it := range tx {
-			counts[it.key()]++
-			if _, ok := first[it.key()]; !ok {
-				first[it.key()] = it
+		t.foldTx(tx)
+	}
+	return finishResult(t, aprioriMine(t, minSupport), len(txs), minSupport), nil
+}
+
+// aprioriMine is the levelwise engine over a weighted transaction
+// table. It works in "rank" space — ids renumbered so rank order
+// equals key order — which makes the sorted-level prefix join and the
+// subset tests pure integer comparisons.
+func aprioriMine(t *txTable, minSupport int) []mined {
+	n := t.in.size()
+	if n == 0 {
+		return nil
+	}
+	// Rank permutation: rank order == normalized key order.
+	rank2id := make([]int32, n)
+	for i := range rank2id {
+		rank2id[i] = int32(i)
+	}
+	sort.Slice(rank2id, func(i, j int) bool { return t.in.keys[rank2id[i]] < t.in.keys[rank2id[j]] })
+	id2rank := make([]int32, n)
+	for r, id := range rank2id {
+		id2rank[id] = int32(r)
+	}
+
+	// Rank-space copies of the distinct transactions.
+	type wset struct {
+		set []int32
+		w   int
+	}
+	var rsets []wset
+	counts := make([]int, n)
+	for s := range t.shards {
+		sh := &t.shards[s]
+		for r, set := range sh.sets {
+			rs := make([]int32, len(set))
+			for i, id := range set {
+				rs[i] = id2rank[id]
+			}
+			sortIDs(rs)
+			rsets = append(rsets, wset{set: rs, w: sh.weight[r]})
+			for _, rk := range rs {
+				counts[rk] += sh.weight[r]
 			}
 		}
 	}
-	var level []Itemset
-	for k, c := range counts {
-		if c >= minSupport {
-			s := Itemset{first[k]}
-			level = append(level, s)
-			res.Frequent = append(res.Frequent, Frequent{Items: s, Support: c})
+
+	emit := func(out []mined, ranks []int32, support int) []mined {
+		ids := make([]int32, len(ranks))
+		for i, rk := range ranks {
+			ids[i] = rank2id[rk]
+		}
+		sortIDs(ids)
+		return append(out, mined{ids: ids, support: support})
+	}
+
+	var out []mined
+	var level [][]int32
+	for rk := 0; rk < n; rk++ {
+		if counts[rk] >= minSupport {
+			level = append(level, []int32{int32(rk)})
+			out = emit(out, level[len(level)-1], counts[rk])
 		}
 	}
-	sortLevel(level)
 
 	for len(level) > 0 {
 		candidates := generateCandidates(level)
 		if len(candidates) == 0 {
 			break
 		}
-		// Support counting scan.
 		supp := make([]int, len(candidates))
-		for _, tx := range txs {
+		for _, ws := range rsets {
 			for i, c := range candidates {
-				if tx.Contains(c) {
-					supp[i]++
+				if containsIDs(ws.set, c) {
+					supp[i] += ws.w
 				}
 			}
 		}
-		var next []Itemset
+		var next [][]int32
 		for i, c := range candidates {
 			if supp[i] >= minSupport {
 				next = append(next, c)
-				res.Frequent = append(res.Frequent, Frequent{Items: c, Support: supp[i]})
+				out = emit(out, c, supp[i])
 			}
 		}
-		sortLevel(next)
 		level = next
 	}
-
-	sort.SliceStable(res.Frequent, func(i, j int) bool {
-		if len(res.Frequent[i].Items) != len(res.Frequent[j].Items) {
-			return len(res.Frequent[i].Items) < len(res.Frequent[j].Items)
-		}
-		return res.Frequent[i].Items.Key() < res.Frequent[j].Items.Key()
-	})
-	return res, nil
+	return out
 }
 
-func sortLevel(level []Itemset) {
-	sort.Slice(level, func(i, j int) bool { return level[i].Key() < level[j].Key() })
-}
-
-// generateCandidates joins each pair of k-itemsets sharing their
-// first k-1 items, then prunes candidates with an infrequent subset.
-func generateCandidates(level []Itemset) []Itemset {
+// generateCandidates joins each pair of k-sets sharing their first
+// k-1 ranks, then prunes candidates with an infrequent subset
+// (the Apriori downward-closure property). The level is sorted
+// lexicographically, so same-prefix sets are contiguous.
+func generateCandidates(level [][]int32) [][]int32 {
 	freq := make(map[string]bool, len(level))
+	var buf []byte
 	for _, s := range level {
-		freq[s.Key()] = true
+		buf = packIDs(buf, s)
+		freq[string(buf)] = true
 	}
 	k := len(level[0])
-	var out []Itemset
-	seen := make(map[string]bool)
+	var out [][]int32
+	sub := make([]int32, k)
 	for i := 0; i < len(level); i++ {
 		for j := i + 1; j < len(level); j++ {
 			a, b := level[i], level[j]
 			if !samePrefix(a, b, k-1) {
 				break // level is sorted; prefixes diverge from here on
 			}
-			cand := NewItemset(append(append([]Item{}, a...), b[k-1])...)
-			if len(cand) != k+1 {
-				continue // a and b shared their last item's attr/value
-			}
-			key := cand.Key()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			if !allSubsetsFrequent(cand, freq) {
+			cand := make([]int32, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			if !allSubsetsFrequent(cand, sub, freq, &buf) {
 				continue
 			}
 			out = append(out, cand)
@@ -218,9 +293,9 @@ func generateCandidates(level []Itemset) []Itemset {
 	return out
 }
 
-func samePrefix(a, b Itemset, n int) bool {
+func samePrefix(a, b []int32, n int) bool {
 	for i := 0; i < n; i++ {
-		if a[i].key() != b[i].key() {
+		if a[i] != b[i] {
 			return false
 		}
 	}
@@ -229,12 +304,13 @@ func samePrefix(a, b Itemset, n int) bool {
 
 // allSubsetsFrequent applies the Apriori pruning property: every
 // k-subset of a (k+1)-candidate must be frequent.
-func allSubsetsFrequent(cand Itemset, freq map[string]bool) bool {
+func allSubsetsFrequent(cand, sub []int32, freq map[string]bool, buf *[]byte) bool {
 	for skip := range cand {
-		sub := make(Itemset, 0, len(cand)-1)
+		sub = sub[:0]
 		sub = append(sub, cand[:skip]...)
 		sub = append(sub, cand[skip+1:]...)
-		if !freq[sub.Key()] {
+		*buf = packIDs(*buf, sub)
+		if !freq[string(*buf)] {
 			return false
 		}
 	}

@@ -26,67 +26,206 @@ type Extractor struct {
 	KeepPartial bool
 }
 
-var _ core.PatternExtractor = Extractor{}
+var (
+	_ core.PatternExtractor     = Extractor{}
+	_ core.IncrementalExtractor = Extractor{}
+	_ core.LogExtractor         = Extractor{}
+	_ core.PatternExtractor     = FPGrowth{}
+	_ core.IncrementalExtractor = FPGrowth{}
+	_ core.LogExtractor         = FPGrowth{}
+)
 
 // Extract implements core.PatternExtractor.
 func (x Extractor) Extract(practice []audit.Entry, opts core.Options) ([]core.Pattern, error) {
-	attrs := opts.Attrs
-	if len(attrs) == 0 {
-		attrs = core.DefaultAttrs
-	}
-	minSupport := opts.MinSupport
-	if minSupport == 0 {
-		minSupport = 5
-	}
-	minUsers := opts.MinDistinctUsers
-	if minUsers == 0 {
-		minUsers = 2
-	}
-
-	txs := make([]Transaction, len(practice))
-	for i, e := range practice {
-		items := make([]Item, 0, len(attrs))
-		for _, a := range attrs {
-			v, err := attrValue(e, a)
-			if err != nil {
-				return nil, err
-			}
-			items = append(items, Item{Attr: a, Value: v})
-		}
-		txs[i] = NewItemset(items...)
-	}
-	res, err := Apriori(txs, minSupport)
+	t, err := buildTable(practice, analysisAttrs(opts))
 	if err != nil {
 		return nil, err
 	}
+	ms := minSupportOf(opts)
+	if ms < 1 {
+		return nil, errMinSupport(ms)
+	}
+	return patternize(t, aprioriMine(t, ms), opts, x.KeepPartial)
+}
 
+// Extract implements core.PatternExtractor with the FP-growth engine.
+// Output is byte-identical to Extractor's (differentially tested);
+// only the mining cost differs.
+func (f FPGrowth) Extract(practice []audit.Entry, opts core.Options) ([]core.Pattern, error) {
+	t, err := buildTable(practice, analysisAttrs(opts))
+	if err != nil {
+		return nil, err
+	}
+	ms := minSupportOf(opts)
+	if ms < 1 {
+		return nil, errMinSupport(ms)
+	}
+	return patternize(t, fpMine(t, ms, f.Workers), opts, f.KeepPartial)
+}
+
+// NewIncremental implements core.IncrementalExtractor.
+func (x Extractor) NewIncremental(opts core.Options) (core.IncrementalState, error) {
+	return newEpochState(opts, x.KeepPartial, false, 0), nil
+}
+
+// NewIncremental implements core.IncrementalExtractor.
+func (f FPGrowth) NewIncremental(opts core.Options) (core.IncrementalState, error) {
+	return newEpochState(opts, f.KeepPartial, true, f.Workers), nil
+}
+
+// ExtractLog implements core.LogExtractor: one-shot extraction fed by
+// the audit log's incremental per-group index instead of a
+// materialized snapshot. Served only for the default attribute set —
+// the index groups by (data, purpose, authorized).
+func (x Extractor) ExtractLog(l *audit.Log, opts core.Options) ([]core.Pattern, bool, error) {
+	return extractLog(l, opts, x.KeepPartial, false, 0)
+}
+
+// ExtractLog implements core.LogExtractor with the FP-growth engine.
+func (f FPGrowth) ExtractLog(l *audit.Log, opts core.Options) ([]core.Pattern, bool, error) {
+	return extractLog(l, opts, f.KeepPartial, true, f.Workers)
+}
+
+func extractLog(l *audit.Log, opts core.Options, keepPartial, fp bool, workers int) ([]core.Pattern, bool, error) {
+	if !defaultAttrsOnly(opts) {
+		return nil, false, nil
+	}
+	t := newTxTable(defaultTableShards, true)
+	ids := make([]int32, 0, 3)
+	for _, groups := range l.PracticeShards() {
+		for _, g := range groups {
+			ids = ids[:0]
+			ids = append(ids,
+				t.in.intern(Item{Attr: "data", Value: g.Data}),
+				t.in.intern(Item{Attr: "purpose", Value: g.Purpose}),
+				t.in.intern(Item{Attr: "authorized", Value: g.Authorized}))
+			t.foldGroup(ids, g.Weight, g.Users, g.First, g.Last)
+		}
+	}
+	ms := minSupportOf(opts)
+	if ms < 1 {
+		return nil, false, errMinSupport(ms)
+	}
+	var sets []mined
+	if fp {
+		sets = fpMine(t, ms, workers)
+	} else {
+		sets = aprioriMine(t, ms)
+	}
+	patterns, err := patternize(t, sets, opts, keepPartial)
+	if err != nil {
+		return nil, false, err
+	}
+	return patterns, true, nil
+}
+
+// analysisAttrs resolves the attribute set (core's default when
+// unset).
+func analysisAttrs(opts core.Options) []string {
+	if len(opts.Attrs) == 0 {
+		return core.DefaultAttrs
+	}
+	return opts.Attrs
+}
+
+func minSupportOf(opts core.Options) int {
+	if opts.MinSupport == 0 {
+		return 5
+	}
+	return opts.MinSupport
+}
+
+func minUsersOf(opts core.Options) int {
+	if opts.MinDistinctUsers == 0 {
+		return 2
+	}
+	return opts.MinDistinctUsers
+}
+
+// defaultAttrsOnly reports whether the options analyse exactly the
+// default (data, purpose, authorized) attribute set, in order — the
+// projection the audit index maintains.
+func defaultAttrsOnly(opts core.Options) bool {
+	if len(opts.Attrs) == 0 {
+		return true
+	}
+	if len(opts.Attrs) != len(core.DefaultAttrs) {
+		return false
+	}
+	for i, a := range opts.Attrs {
+		if vocab.Norm(a) != core.DefaultAttrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTable folds practice entries into a fresh evidence-carrying
+// transaction table over the analysis attributes.
+func buildTable(practice []audit.Entry, attrs []string) (*txTable, error) {
+	t := newTxTable(defaultTableShards, true)
+	if err := foldEntries(t, practice, attrs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// foldEntries projects each entry onto the analysis attributes and
+// folds it into the table, interning every item key exactly once.
+func foldEntries(t *txTable, practice []audit.Entry, attrs []string) error {
+	for i := range practice {
+		e := &practice[i]
+		ids := t.scratchIDs[:0]
+		for _, a := range attrs {
+			v, err := attrValue(e, a)
+			if err != nil {
+				return err
+			}
+			ids = append(ids, t.in.intern(Item{Attr: a, Value: v}))
+		}
+		t.scratchIDs = ids
+		t.foldIDs(ids, 1, e.User, e.Time)
+	}
+	return nil
+}
+
+// patternize converts mined itemsets into refinement patterns: the
+// full-width filter (unless keepPartial), the distinct-user condition,
+// and an evidence pass over the weighted distinct transactions (cost
+// O(distinct × patterns), independent of raw row count).
+func patternize(t *txTable, sets []mined, opts core.Options, keepPartial bool) ([]core.Pattern, error) {
+	width := len(analysisAttrs(opts))
+	minUsers := minUsersOf(opts)
 	var patterns []core.Pattern
-	for _, f := range res.Frequent {
-		if !x.KeepPartial && len(f.Items) != len(attrs) {
+	for _, m := range sets {
+		if !keepPartial && len(m.ids) != width {
 			continue
 		}
-		// Evidence pass: distinct users and time window over the
-		// supporting entries.
-		users := make(map[string]bool)
+		users := make(map[string]struct{})
 		var first, last time.Time
-		for i, tx := range txs {
-			if !tx.Contains(f.Items) {
-				continue
-			}
-			e := practice[i]
-			users[vocab.Norm(e.User)] = true
-			if first.IsZero() || e.Time.Before(first) {
-				first = e.Time
-			}
-			if e.Time.After(last) {
-				last = e.Time
+		for s := range t.shards {
+			sh := &t.shards[s]
+			for row, set := range sh.sets {
+				if !containsIDs(set, m.ids) {
+					continue
+				}
+				for u := range sh.users[row] {
+					users[u] = struct{}{}
+				}
+				if !sh.first[row].IsZero() && (first.IsZero() || sh.first[row].Before(first)) {
+					first = sh.first[row]
+				}
+				if sh.last[row].After(last) {
+					last = sh.last[row]
+				}
 			}
 		}
 		if len(users) < minUsers {
 			continue
 		}
-		terms := make([]policy.Term, len(f.Items))
-		for i, it := range f.Items {
+		items := t.in.itemset(m.ids)
+		terms := make([]policy.Term, len(items))
+		for i, it := range items {
 			terms[i] = policy.T(it.Attr, it.Value)
 		}
 		rule, err := policy.NewRule(terms...)
@@ -95,7 +234,7 @@ func (x Extractor) Extract(practice []audit.Entry, opts core.Options) ([]core.Pa
 		}
 		patterns = append(patterns, core.Pattern{
 			Rule:          rule,
-			Support:       f.Support,
+			Support:       m.support,
 			DistinctUsers: len(users),
 			FirstSeen:     first,
 			LastSeen:      last,
@@ -118,22 +257,14 @@ func Correlations(practice []audit.Entry, attrs []string, minSupport int) ([]Fre
 	if len(attrs) == 0 {
 		attrs = core.DefaultAttrs
 	}
-	txs := make([]Transaction, len(practice))
-	for i, e := range practice {
-		items := make([]Item, 0, len(attrs))
-		for _, a := range attrs {
-			v, err := attrValue(e, a)
-			if err != nil {
-				return nil, err
-			}
-			items = append(items, Item{Attr: a, Value: v})
-		}
-		txs[i] = NewItemset(items...)
-	}
-	res, err := Apriori(txs, minSupport)
-	if err != nil {
+	t := newTxTable(1, false)
+	if err := foldEntries(t, practice, attrs); err != nil {
 		return nil, err
 	}
+	if minSupport < 1 {
+		return nil, errMinSupport(minSupport)
+	}
+	res := finishResult(t, aprioriMine(t, minSupport), len(practice), minSupport)
 	var out []Frequent
 	for _, f := range res.Frequent {
 		if len(f.Items) >= 2 && len(f.Items) < len(attrs) {
@@ -143,7 +274,7 @@ func Correlations(practice []audit.Entry, attrs []string, minSupport int) ([]Fre
 	return out, nil
 }
 
-func attrValue(e audit.Entry, attr string) (string, error) {
+func attrValue(e *audit.Entry, attr string) (string, error) {
 	switch vocab.Norm(attr) {
 	case "data":
 		return e.Data, nil

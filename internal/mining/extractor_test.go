@@ -124,7 +124,7 @@ func TestAttrValueCoverage(t *testing.T) {
 	for attr, want := range map[string]string{
 		"op": "0", "status": "1", "user": "u", "data": "d", "purpose": "p", "authorized": "r",
 	} {
-		got, err := attrValue(e, attr)
+		got, err := attrValue(&e, attr)
 		if err != nil || got != want {
 			t.Errorf("attrValue(%s) = %q, %v", attr, got, err)
 		}

@@ -11,13 +11,20 @@ import (
 )
 
 // TestExtractorThroughStreamSession drives the Apriori extractor
-// through the streaming session's fallback path: mining.Extractor is
-// not index-servable, so the session must accumulate practice rows
-// via the log's Delta cursor and feed the extractor exactly what the
-// sequential session would.
+// through the streaming session: mining.Extractor is not servable
+// from the per-rule group index (that path is the SQL extractor's),
+// so the session recognizes it as an IncrementalExtractor and feeds
+// persistent epoch state from the log's Delta cursor — producing
+// exactly what the sequential session would.
 func TestExtractorThroughStreamSession(t *testing.T) {
 	if core.IndexExtractable(core.Options{Extractor: mining.Extractor{}}) {
-		t.Fatal("mining.Extractor must take the delta-fed fallback path")
+		t.Fatal("mining.Extractor must not be group-index extractable")
+	}
+	if _, ok := interface{}(mining.Extractor{}).(core.IncrementalExtractor); !ok {
+		t.Fatal("mining.Extractor must be incremental")
+	}
+	if _, ok := interface{}(mining.FPGrowth{}).(core.IncrementalExtractor); !ok {
+		t.Fatal("mining.FPGrowth must be incremental")
 	}
 
 	v := scenario.Vocabulary()

@@ -39,13 +39,14 @@ go tool cover -func=coverage-prima-vet.out | awk '
         if ($3 + 0 < 70) { print "coverage below the 70% floor" > "/dev/stderr"; exit 1 }
     }'
 
-echo "==> fuzz smoke (~30s: decoders must not panic, symbolic algebra must match the ground oracle)"
+echo "==> fuzz smoke (~40s: decoders must not panic, symbolic algebra and FP-growth must match their ground oracles)"
 go test -fuzz=FuzzDecodePolicy -fuzztime=10s -run=NONE ./internal/policy > /dev/null
 go test -fuzz=FuzzDecodeEntry -fuzztime=10s -run=NONE ./internal/audit > /dev/null
 go test -fuzz=FuzzSymbolicVsMaterialized -fuzztime=10s -run=NONE ./internal/policy > /dev/null
+go test -fuzz=FuzzFPGrowthVsApriori -fuzztime=10s -run=NONE ./internal/mining > /dev/null
 
-echo "==> go test -race (concurrency suites: audit, consent, core, hdb, lint, minidb, policy, workflow, server)"
-go test -race ./internal/audit/ ./internal/consent/ ./internal/core/ ./internal/hdb/ ./internal/lint/ ./internal/minidb/ ./internal/policy/ ./internal/workflow/ ./internal/server/
+echo "==> go test -race (concurrency suites: audit, consent, core, hdb, lint, minidb, mining, policy, workflow, server)"
+go test -race ./internal/audit/ ./internal/consent/ ./internal/core/ ./internal/hdb/ ./internal/lint/ ./internal/minidb/ ./internal/mining/ ./internal/policy/ ./internal/workflow/ ./internal/server/
 
 echo "==> benchmark smoke (one iteration per benchmark)"
 go test -bench=. -benchtime=1x -run=NONE . > /dev/null

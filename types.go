@@ -37,6 +37,9 @@ type (
 	Pattern = core.Pattern
 	// RefineOptions parameterizes refinement (f, c, extractor).
 	RefineOptions = core.Options
+	// PatternExtractor is the pluggable data-analysis interface of
+	// Algorithm 4 (RefineOptions.Extractor).
+	PatternExtractor = core.PatternExtractor
 	// Round records one refinement round.
 	Round = core.Round
 	// Reviewer decides the fate of discovered patterns.
@@ -202,6 +205,15 @@ func EntriesToPolicy(name string, entries []Entry) *Policy { return audit.ToPoli
 // (paper §5's proposed upgrade) for use in RefineOptions.Extractor.
 func MiningExtractor(keepPartial bool) core.PatternExtractor {
 	return mining.Extractor{KeepPartial: keepPartial}
+}
+
+// FPGrowthExtractor returns the FP-growth pattern extractor: same
+// output as MiningExtractor (differentially tested), built for audit
+// scale — parallel per-shard tree construction and incremental
+// streaming epochs. workers <= 0 sizes the pattern-growth pool to
+// GOMAXPROCS.
+func FPGrowthExtractor(keepPartial bool, workers int) core.PatternExtractor {
+	return mining.FPGrowth{KeepPartial: keepPartial, Workers: workers}
 }
 
 // NewSimulator builds a clinical workflow simulator.
