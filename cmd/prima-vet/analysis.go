@@ -41,6 +41,9 @@ var analyzers = []*Analyzer{
 	lockorderAnalyzer,
 	phileakAnalyzer,
 	arenasafeAnalyzer,
+	atomicsafeAnalyzer,
+	goleakAnalyzer,
+	chanuseAnalyzer,
 }
 
 // selectAnalyzers resolves a -run list ("lockorder,phileak") against

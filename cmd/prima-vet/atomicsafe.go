@@ -1,0 +1,399 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicsafe enforces the two invariants the RCU-style hot paths
+// (enforcement snapshots, audit sink swapping, mining cursors) depend
+// on:
+//
+//   - Rule A — no mixed access: a variable or struct field whose
+//     address is passed to a sync/atomic function anywhere in the
+//     program must never be read or written plainly. A single plain
+//     access defeats the atomicity of every atomic one.
+//   - Rule B — publish then freeze: a module struct stored into an
+//     atomic.Pointer (Store/Swap/CompareAndSwap), or loaded out of one,
+//     is shared with readers that take no lock. Mutating it afterwards
+//     — directly or through a callee that writes its parameter — is a
+//     data race; copy-on-write is required. Structs carrying their own
+//     synchronization (a sync or sync/atomic field) are exempt: they
+//     opt into in-place mutation under their own discipline.
+//
+// Rule B generalizes lockcheck's publication rule and arenasafe beyond
+// prima:arena-marked types: any module struct flowing through an
+// atomic pointer gets the fresh/published treatment. Mutation through
+// calls reuses arenasafe's interprocedural mutates/stores summaries.
+var atomicsafeAnalyzer = &Analyzer{
+	Name:       "atomicsafe",
+	Doc:        "no plain access to atomically-accessed values; no mutation after atomic publication",
+	RunProgram: runAtomicsafe,
+}
+
+func runAtomicsafe(prog *Program) []Finding {
+	var out []Finding
+	report := func(p *Package, pos token.Pos, msg string) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "atomicsafe",
+			Message:  msg,
+		})
+	}
+
+	atomics := collectAtomicObjects(prog)
+	for _, n := range prog.CG.Nodes() {
+		atomicMixedAccess(n, atomics, report)
+	}
+
+	sums := arenaSummaries(prog)
+	for _, n := range prog.CG.Nodes() {
+		n := n
+		atomicPublishScan(prog, n, sums, func(pos token.Pos, msg string) {
+			report(n.Pkg, pos, msg)
+		})
+	}
+	return out
+}
+
+// ---- rule A: mixed atomic/plain access ----
+
+// collectAtomicObjects gathers every variable and field whose address
+// reaches a function-style sync/atomic call (atomic.AddInt64(&x, 1))
+// anywhere in the program — directly, or through a pointer local bound
+// from &x earlier in the function (resolved over SSA copies).
+func collectAtomicObjects(prog *Program) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	for _, n := range prog.CG.Nodes() {
+		f := prog.SSA(n)
+		info := n.Pkg.Info
+		ownBody(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			target := ast.Unparen(call.Args[0])
+			if id, ok := target.(*ast.Ident); ok {
+				// A pointer local: chase the copy chain to the &x that
+				// produced it.
+				if v, ok := f.Uses[id]; ok {
+					if def := f.DefExpr(f.ResolveCopies(v)); def != nil {
+						target = ast.Unparen(def)
+					}
+				}
+			}
+			if u, ok := target.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if obj := referentVar(info, u.X); obj != nil {
+					objs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return objs
+}
+
+// referentVar resolves &e's pointee to the variable or field it names.
+func referentVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// atomicMixedAccess flags every plain mention of an atomic object in
+// n's body. Mentions inside sync/atomic call arguments and bare
+// address-taking (&x — no value access) are exempt; so are declaration
+// sites (the initializing definition happens-before any goroutine that
+// could race).
+func atomicMixedAccess(n *CGNode, atomics map[types.Object]bool, report func(*Package, token.Pos, string)) {
+	info := n.Pkg.Info
+
+	// The identifier nodes that are assignment/inc-dec targets: for
+	// s.f = v the written ident is the selector's Sel, for x = v the
+	// ident itself.
+	written := make(map[*ast.Ident]bool)
+	markWrite := func(l ast.Expr) {
+		switch x := ast.Unparen(l).(type) {
+		case *ast.Ident:
+			written[x] = true
+		case *ast.SelectorExpr:
+			written[x.Sel] = true
+		}
+	}
+	ownBody(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				markWrite(l)
+			}
+		case *ast.IncDecStmt:
+			markWrite(x.X)
+		}
+		return true
+	})
+
+	ownBody(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			if isAtomicFuncCall(info, x) {
+				return false // the atomic access itself
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				return false // address-taking reads no value
+			}
+		case *ast.Ident:
+			obj, ok := info.Uses[x].(*types.Var)
+			if !ok || !atomics[obj] {
+				return true
+			}
+			kind, access := "variable", "read"
+			if obj.IsField() {
+				kind = "field"
+			}
+			if written[x] {
+				access = "write"
+			}
+			report(n.Pkg, x.Pos(), fmt.Sprintf(
+				"%s %q is accessed with sync/atomic elsewhere; plain %s races (use the atomic API)",
+				kind, obj.Name(), access))
+		}
+		return true
+	})
+}
+
+// isAtomicFuncCall reports whether the call invokes a package-level
+// sync/atomic function (not a method on an atomic.* value).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// ---- rule B: publish-then-mutate through atomic pointers ----
+
+// atomicMethod classifies a call as a method on a sync/atomic value
+// (atomic.Pointer[T].Store and friends), returning the method name.
+func atomicMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// atomicPublishArg returns the expression a method-style atomic call
+// publishes, if any: Store(x) and Swap(x) publish x,
+// CompareAndSwap(old, new) publishes new.
+func atomicPublishArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	name, ok := atomicMethod(info, call)
+	if !ok {
+		return nil
+	}
+	switch name {
+	case "Store", "Swap":
+		if len(call.Args) == 1 {
+			return call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) == 2 {
+			return call.Args[1]
+		}
+	}
+	return nil
+}
+
+// atomicSnapshotCall reports whether e is a method-style atomic call
+// whose result aliases the published value (Load, or the previous
+// value returned by Swap).
+func atomicSnapshotCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, ok := atomicMethod(info, call)
+	return ok && (name == "Load" || name == "Swap")
+}
+
+// typeHasSync reports whether the struct type carries its own
+// synchronization: a sync.* or sync/atomic.* field anywhere in its
+// (recursively embedded) value fields.
+func typeHasSync(t types.Type) bool {
+	return hasSyncField(derefType(t), make(map[types.Type]bool))
+}
+
+func hasSyncField(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			if p := pkg.Path(); p == "sync" || p == "sync/atomic" {
+				return true
+			}
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if hasSyncField(st.Field(i).Type(), seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicPublishScan tracks module-struct locals through the CFG: a
+// local becomes published when stored into an atomic pointer or bound
+// from an atomic load, and any later write to it — direct or through a
+// mutating callee — is reported. Mirrors arenasafe's published-set
+// analysis with atomic operations as the publication events.
+func atomicPublishScan(prog *Program, n *CGNode, sums map[*CGNode]*arenaSummary, report func(token.Pos, string)) {
+	info := n.Pkg.Info
+
+	// guardedLocal resolves an expression to a function-local variable
+	// of (pointer to) a named module struct type without its own
+	// synchronization.
+	guardedLocal := func(e ast.Expr) (*types.Var, bool) {
+		id, ok := ast.Unparen(stripAddr(e)).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return nil, false
+		}
+		if v.Pos() < n.Body.Pos() || v.Pos() > n.Body.End() {
+			return nil, false
+		}
+		named, ok := derefType(v.Type()).(*types.Named)
+		if !ok {
+			return nil, false
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return nil, false
+		}
+		if pkg := named.Obj().Pkg(); pkg == nil || !moduleInternal(prog, pkg.Path()) {
+			return nil, false
+		}
+		if typeHasSync(named) {
+			return nil, false
+		}
+		return v, true
+	}
+	factFor := func(v *types.Var) string { return "apub:" + fmt.Sprint(int(v.Pos())) }
+	className := func(v *types.Var) string {
+		named, _ := derefType(v.Type()).(*types.Named)
+		return shortClass(classOf(named), prog.Loader.Module)
+	}
+
+	apply := func(b *Block, pub factSet, rec bool) factSet {
+		pub = pub.clone()
+		checkWrite := func(v *types.Var, pos token.Pos) {
+			if rec && pub[factFor(v)] {
+				report(pos, fmt.Sprintf("%s %q mutated after atomic publication (copy before writing)",
+					className(v), v.Name()))
+			}
+		}
+		for _, s := range b.Stmts {
+			ast.Inspect(s, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.FuncLit:
+					return x == n.Lit
+				case *ast.AssignStmt:
+					for i, lhs := range x.Lhs {
+						var rhs ast.Expr
+						if len(x.Lhs) == len(x.Rhs) {
+							rhs = x.Rhs[i]
+						}
+						if v, ok := guardedLocal(lhs); ok {
+							// Rebinding: a snapshot out of an atomic
+							// pointer is born published, anything else
+							// makes the local private again.
+							if rhs != nil && atomicSnapshotCall(info, rhs) {
+								pub[factFor(v)] = true
+							} else {
+								delete(pub, factFor(v))
+							}
+							continue
+						}
+						if root, pathed := rootIdent(lhs); pathed {
+							if v, ok := guardedLocal(root); ok {
+								checkWrite(v, lhs.Pos())
+							}
+						}
+					}
+				case *ast.IncDecStmt:
+					if root, pathed := rootIdent(x.X); pathed {
+						if v, ok := guardedLocal(root); ok {
+							checkWrite(v, x.Pos())
+						}
+					}
+				case *ast.CallExpr:
+					if arg := atomicPublishArg(info, x); arg != nil {
+						if v, ok := guardedLocal(arg); ok {
+							pub[factFor(v)] = true
+						}
+						return true
+					}
+					var slotVars []*types.Var
+					slotOf := func(e ast.Expr) (int, bool) {
+						if v, ok := guardedLocal(e); ok {
+							slotVars = append(slotVars, v)
+							return len(slotVars) - 1, true
+						}
+						return 0, false
+					}
+					mut, _ := callEffects(prog, n, x, sums, slotOf)
+					for i, v := range slotVars {
+						if mut&paramBit(i) != 0 {
+							checkWrite(v, x.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+		return pub
+	}
+
+	cfg := prog.SSA(n).CFG
+	res := cfg.Fixpoint(factSet{}, func(b *Block, in factSet) factSet {
+		return apply(b, in, false)
+	})
+	for _, b := range cfg.Blocks {
+		apply(b, res.In[b.Index], true)
+	}
+}

@@ -38,6 +38,11 @@ func (b *Block) addSucc(s *Block) {
 type CFG struct {
 	Entry  *Block
 	Blocks []*Block
+	// Ranges maps a range-loop head block to its RangeStmt. The head
+	// carries only the range expression as a synthetic statement; the
+	// SSA builder needs the original statement to model the implicit
+	// per-iteration key/value assignment.
+	Ranges map[*Block]*ast.RangeStmt
 }
 
 // cfgBuilder tracks the loop/switch context needed to wire break,
@@ -173,6 +178,10 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block, label string) *Block {
 		// The range expression and per-iteration assignment live in the
 		// head so facts flow through them each iteration.
 		head.Stmts = append(head.Stmts, &ast.ExprStmt{X: x.X})
+		if b.cfg.Ranges == nil {
+			b.cfg.Ranges = make(map[*Block]*ast.RangeStmt)
+		}
+		b.cfg.Ranges[head] = x
 		exit := b.newBlock()
 		head.addSucc(exit)
 		b.pushLoop(exit, head, label)
@@ -202,6 +211,13 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block, label string) *Block {
 		return b.switchClauses(x.Body.List, cur, label)
 
 	case *ast.SelectStmt:
+		if len(x.Body.List) == 0 {
+			// select{} blocks forever. Keep the statement in the block
+			// so analyzers (goleak) can see the divergence, and stop
+			// control flow: nothing after it executes.
+			cur.Stmts = append(cur.Stmts, x)
+			return nil
+		}
 		join := b.newBlock()
 		b.breakTo = append(b.breakTo, join)
 		if label != "" {

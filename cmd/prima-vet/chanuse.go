@@ -1,0 +1,270 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// chanuse checks channel operations against the SSA value lattice and
+// the lockorder held-set dataflow:
+//
+//  1. Send or receive on a channel that is nil — definitely (the only
+//     reaching definitions are nil) or possibly (nil on some path) —
+//     blocks forever. close(nil) panics.
+//  2. Send on, or close of, a channel whose reaching definition already
+//     passed through close() panics.
+//  3. A blocking channel operation — unbuffered send, receive, range
+//     over a channel, select without a default — performed while
+//     holding a module mutex (the lockorder held-set) parks the
+//     goroutine with the lock held, stalling every other user of that
+//     lock class.
+//
+// Rules 1 and 2 use the per-function SSA form: only function-local,
+// non-captured channels are tracked, so struct fields and globals are
+// never reported on. Rule 3 reuses lockorder's held-set replay; sends
+// on channels known to be buffered (constant capacity > 0) are exempt.
+var chanuseAnalyzer = &Analyzer{
+	Name:       "chanuse",
+	Doc:        "nil/closed channel operations and blocking channel ops under module locks",
+	RunProgram: runChanuse,
+}
+
+func runChanuse(prog *Program) []Finding {
+	var out []Finding
+	for _, n := range prog.CG.Nodes() {
+		out = append(out, chanuseValueRules(prog, n)...)
+		out = append(out, chanuseHeldRules(prog, n)...)
+	}
+	return out
+}
+
+// chanuseValueRules walks one function body applying rules 1 and 2 to
+// every send, receive, and close operand that SSA tracks.
+func chanuseValueRules(prog *Program, n *CGNode) []Finding {
+	f := prog.SSA(n)
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      n.Pkg.Fset.Position(pos),
+			Analyzer: "chanuse",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	// A nil channel in a select comm clause is the standard idiom for
+	// disabling that case — exempt from the nil rules. Sends there can
+	// still panic if the channel was closed.
+	inSelect := make(map[ast.Node]bool)
+	ownBody(n, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			comm := c.(*ast.CommClause).Comm
+			if comm == nil {
+				continue
+			}
+			ast.Inspect(comm, func(c ast.Node) bool {
+				switch x := c.(type) {
+				case *ast.SendStmt:
+					inSelect[x] = true
+				case *ast.UnaryExpr:
+					if x.Op == token.ARROW {
+						inSelect[x] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	check := func(site ast.Node, e ast.Expr, pos token.Pos, op string) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := f.Uses[id]
+		if !ok || !isChanExpr(n.Pkg, e) {
+			return
+		}
+		fl := f.Flags(v)
+		switch {
+		case inSelect[site]:
+			// nil disables the case; fall through to the closed rules.
+		case fl&latNil != 0 && fl&(latNonNil|latUnknown) == 0:
+			if op == "close" {
+				report(pos, "close of nil channel %s panics", id.Name)
+			} else {
+				report(pos, "%s on nil channel %s blocks forever", op, id.Name)
+			}
+			return
+		case fl&latNil != 0:
+			report(pos, "%s on possibly-nil channel %s (nil on some path)", op, id.Name)
+		}
+		if op == "receive" {
+			return // receiving from a closed channel is legal
+		}
+		switch {
+		case f.ResolveCopies(v).Kind == valClose:
+			if op == "close" {
+				report(pos, "close of already-closed channel %s panics", id.Name)
+			} else {
+				report(pos, "%s on closed channel %s panics", op, id.Name)
+			}
+		case fl&latClosed != 0:
+			report(pos, "%s on channel %s that may already be closed", op, id.Name)
+		}
+	}
+	ownBody(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.SendStmt:
+			check(x, x.Chan, x.Arrow, "send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				check(x, x.X, x.OpPos, "receive")
+			}
+		case *ast.CallExpr:
+			if isCloseBuiltin(n.Pkg, x) {
+				check(x, x.Args[0], x.Pos(), "close")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// chanuseHeldRules applies rule 3: replay the lockorder held-set over
+// the CFG and flag blocking channel operations performed with a module
+// lock held.
+func chanuseHeldRules(prog *Program, n *CGNode) []Finding {
+	f := prog.SSA(n)
+	cfg := f.CFG
+
+	// Map each comm statement back to its SelectStmt: the select itself
+	// is decomposed during CFG build, so the comm statements are what
+	// the replay sees. A select with a default clause never blocks, so
+	// its comm statements are excluded from the blocking rules.
+	commOf := make(map[ast.Stmt]*ast.SelectStmt)
+	blocking := make(map[*ast.SelectStmt]bool)
+	ownBody(n, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		blocking[sel] = true
+		for _, c := range sel.Body.List {
+			if cc := c.(*ast.CommClause); cc.Comm == nil {
+				blocking[sel] = false
+			} else {
+				commOf[cc.Comm] = sel
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, what string, held factSet) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, Finding{
+			Pos:      n.Pkg.Fset.Position(pos),
+			Analyzer: "chanuse",
+			Message:  fmt.Sprintf("%s while holding %s may block indefinitely", what, heldNames(held)),
+		})
+	}
+	heldSetReplay(prog, n, func(b *Block, s ast.Stmt, held factSet) {
+		if len(held) == 0 {
+			return
+		}
+		if sel, ok := commOf[s]; ok {
+			if blocking[sel] {
+				report(sel.Pos(), "select without default", held)
+			}
+			return
+		}
+		if sel, ok := s.(*ast.SelectStmt); ok {
+			// Only the empty select{} survives CFG build as a statement.
+			report(sel.Pos(), "select without default", held)
+			return
+		}
+		if rs, ok := cfg.Ranges[b]; ok && len(b.Stmts) > 0 && s == b.Stmts[0] {
+			if isChanExpr(n.Pkg, rs.X) {
+				report(rs.Pos(), "range over channel", held)
+			}
+			return
+		}
+		ast.Inspect(s, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				return x == n.Lit
+			case *ast.GoStmt:
+				return false
+			case *ast.SendStmt:
+				if !isBufferedChan(f, x.Chan) {
+					report(x.Arrow, "channel send", held)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					report(x.OpPos, "channel receive", held)
+				}
+			}
+			return true
+		})
+	}, nil)
+	return out
+}
+
+// heldNames renders a held-set deterministically for messages.
+func heldNames(held factSet) string {
+	names := make([]string, 0, len(held))
+	for c := range held {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// isBufferedChan reports whether the channel expression resolves to an
+// SSA value known to be made with constant capacity > 0. Unknown
+// channels are treated as unbuffered (may block).
+func isBufferedChan(f *FuncSSA, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := f.Uses[id]
+	if !ok {
+		return false
+	}
+	fl := f.Flags(v)
+	return fl&latBuffered != 0 && fl&(latUnknown|latNil) == 0
+}
+
+// isChanExpr reports whether e's type is a channel.
+func isChanExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// isCloseBuiltin reports whether the call invokes the close builtin on
+// one argument.
+func isCloseBuiltin(p *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// goleak enforces the goroutine-lifecycle discipline the streaming
+// audit pipeline and the mining/coverage worker pools rely on: every
+// spawned goroutine must have a reachable termination path — a return
+// reachable from every point of its body. Bounded loops, range loops
+// (terminated by channel close or slice exhaustion), and
+// context/done-channel select cases all qualify; a `for {}` spin, a
+// body ending in `select {}`, or a loop whose only exits call
+// known-divergent helpers do not.
+//
+// The check is interprocedural: a per-function divergence summary
+// ("calling this function never returns") is computed to a fixpoint
+// over the call graph, so a pool helper that wraps its worker loop in
+// a named function is still checked at the `go` spawn site.
+// Recursion is resolved optimistically (a recursive function is not
+// assumed divergent unless some non-recursive path diverges), and
+// calls the graph cannot resolve — standard library, function values
+// — are assumed to return.
+var goleakAnalyzer = &Analyzer{
+	Name:       "goleak",
+	Doc:        "every spawned goroutine needs a reachable termination path",
+	RunProgram: runGoleak,
+}
+
+func runGoleak(prog *Program) []Finding {
+	diverge := divergeSummaries(prog)
+	var out []Finding
+	for _, n := range prog.CG.Nodes() {
+		n := n
+		ownBody(n, func(m ast.Node) bool {
+			gs, ok := m.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			for _, target := range spawnTargets(prog, n, gs) {
+				flow := flowOf(prog, target, diverge)
+				if !flow.leaks {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:      n.Pkg.Fset.Position(gs.Pos()),
+					Analyzer: "goleak",
+					Message: fmt.Sprintf("goroutine %s has no reachable termination path from %s (add a done/context case or bound the loop)",
+						target.Name(), flow.leakAt(target)),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// spawnTargets resolves the function a go statement starts: the
+// literal node for `go func(){...}()`, the call-graph callees for
+// `go f(...)` / `go x.m(...)`. Unresolvable spawns (function values,
+// standard library) yield nothing and are not checked.
+func spawnTargets(prog *Program, n *CGNode, gs *ast.GoStmt) []*CGNode {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if ln := prog.CG.LitNode(lit); ln != nil {
+			return []*CGNode{ln}
+		}
+		return nil
+	}
+	return calleesAt(n, gs.Call)
+}
+
+// divergeSummaries computes, to a fixpoint over the call graph, which
+// functions can never return: their entry cannot reach a terminating
+// exit block. Monotone — a function marked divergent stays divergent,
+// and each new mark can only cut more blocks in its callers.
+func divergeSummaries(prog *Program) map[*CGNode]bool {
+	diverge := make(map[*CGNode]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, n := range prog.CG.Nodes() {
+			if diverge[n] {
+				continue
+			}
+			if flowOf(prog, n, diverge).diverges {
+				diverge[n] = true
+				changed = true
+			}
+		}
+	}
+	return diverge
+}
+
+// goFlow is the reachability verdict over one function body given the
+// current divergence summaries.
+type goFlow struct {
+	diverges bool      // entry cannot reach a terminating exit
+	leaks    bool      // some reachable block cannot reach a terminating exit
+	leakPos  token.Pos // evidence: first statement of such a block
+}
+
+// leakAt renders the leak evidence position, falling back to the
+// function name when the offending block has no statements.
+func (f goFlow) leakAt(n *CGNode) string {
+	if !f.leakPos.IsValid() {
+		return "its body"
+	}
+	p := n.Pkg.Fset.Position(f.leakPos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// flowOf classifies n's blocks: a block is cut when control cannot
+// pass beyond it (it contains select{} or a call whose every resolved
+// callee diverges); an exit is an uncut block with no successors
+// (return, or falling off the end). diverges when entry cannot reach
+// an exit; leaks when any entry-reachable block cannot.
+func flowOf(prog *Program, n *CGNode, diverge map[*CGNode]bool) goFlow {
+	cfg := prog.SSA(n).CFG
+	nb := len(cfg.Blocks)
+	sites := make(map[*ast.CallExpr][]*CGNode)
+	for _, site := range n.Calls {
+		if site.Call != nil {
+			sites[site.Call] = append(sites[site.Call], site.Callees...)
+		}
+	}
+
+	cut := make([]bool, nb)
+	for _, b := range cfg.Blocks {
+		cut[b.Index] = blockDiverges(n, b, sites, diverge)
+	}
+
+	// Forward: entry-reachable, never expanding past a cut block.
+	reach := make([]bool, nb)
+	if cfg.Entry != nil {
+		stack := []*Block{cfg.Entry}
+		reach[cfg.Entry.Index] = true
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cut[b.Index] {
+				continue
+			}
+			for _, s := range b.Succs {
+				if !reach[s.Index] {
+					reach[s.Index] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+
+	// Backward: can-reach-exit over reversed edges; cut blocks never
+	// reach anything (control stops inside them).
+	preds := make([][]*Block, nb)
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	canExit := make([]bool, nb)
+	var stack []*Block
+	for _, b := range cfg.Blocks {
+		if len(b.Succs) == 0 && !cut[b.Index] {
+			canExit[b.Index] = true
+			stack = append(stack, b)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[b.Index] {
+			if !canExit[p.Index] && !cut[p.Index] {
+				canExit[p.Index] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	var out goFlow
+	out.diverges = cfg.Entry == nil || !canExit[cfg.Entry.Index]
+	for _, b := range cfg.Blocks {
+		if reach[b.Index] && !canExit[b.Index] {
+			out.leaks = true
+			if len(b.Stmts) > 0 {
+				out.leakPos = b.Stmts[0].Pos()
+			}
+			break
+		}
+	}
+	return out
+}
+
+// blockDiverges reports whether control cannot pass beyond this block:
+// it contains `select {}` or a call every resolved callee of which
+// diverges. Calls under go (spawning never blocks the spawner) and
+// defer (runs at exit), and nested function literals, do not count.
+func blockDiverges(n *CGNode, b *Block, sites map[*ast.CallExpr][]*CGNode, diverge map[*CGNode]bool) bool {
+	divergent := false
+	for _, s := range b.Stmts {
+		ast.Inspect(s, func(m ast.Node) bool {
+			if divergent {
+				return false
+			}
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				if x != n.Lit {
+					return false
+				}
+			case *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.SelectStmt:
+				if len(x.Body.List) == 0 {
+					divergent = true
+					return false
+				}
+			case *ast.CallExpr:
+				callees := sites[x]
+				if len(callees) == 0 {
+					return true
+				}
+				all := true
+				for _, c := range callees {
+					if !diverge[c] {
+						all = false
+						break
+					}
+				}
+				if all {
+					divergent = true
+					return false
+				}
+			}
+			return true
+		})
+		if divergent {
+			return true
+		}
+	}
+	return false
+}

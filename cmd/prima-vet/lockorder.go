@@ -71,7 +71,7 @@ func collectLockEdges(prog *Program) []*lockEdge {
 		facts := factSet{}
 		ownBody(n, func(m ast.Node) bool {
 			if call, ok := m.(*ast.CallExpr); ok {
-				if class, op := lockEvent(prog, n.Pkg, call); class != "" && (op == "Lock" || op == "RLock") {
+				if class, op := lockEvent(prog, n, call); class != "" && (op == "Lock" || op == "RLock") {
 					facts[class] = true
 				}
 			}
@@ -121,45 +121,77 @@ func analyzeHeldSets(prog *Program, n *CGNode, may map[*CGNode]factSet, record f
 		}
 	}
 
+	heldSetReplay(prog, n, nil, func(m ast.Node, held factSet) {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			// The literal may run here (immediate call, defer, go):
+			// its transitive acquisitions pair with the current held
+			// set. Its own body is a separate CG node.
+			if ln := prog.CG.LitNode(x); ln != nil {
+				for to := range may[ln] {
+					record(n, held, to, x.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if class, op := lockEvent(prog, n, x); class != "" {
+				if op == "Lock" || op == "RLock" {
+					record(n, held, class, x.Pos())
+				}
+				return
+			}
+			for _, callee := range siteCallees[x] {
+				for to := range may[callee] {
+					record(n, held, to, x.Pos())
+				}
+			}
+		}
+	})
+}
+
+// heldSetReplay is the shared held-set dataflow used by lockorder and
+// chanuse: it computes the may-held lock set at every point of n via
+// the CFG fixpoint, then replays each block invoking the callbacks
+// with the set in effect at that point. onStmt (optional) fires before
+// each block statement executes; onNode (optional) fires at each
+// call expression and nested function literal, with Lock call sites
+// seeing the set held just before acquisition. A deferred unlock
+// keeps the lock held for the remainder of the function, which is
+// exactly the held-set we want.
+func heldSetReplay(prog *Program, n *CGNode, onStmt func(*Block, ast.Stmt, factSet), onNode func(ast.Node, factSet)) {
+	cfg := prog.SSA(n).CFG
 	apply := func(b *Block, held factSet, rec bool) factSet {
 		held = held.clone()
 		for _, s := range b.Stmts {
+			if rec && onStmt != nil {
+				onStmt(b, s, held.clone())
+			}
 			_, isDefer := s.(*ast.DeferStmt)
 			ast.Inspect(s, func(m ast.Node) bool {
 				switch x := m.(type) {
 				case *ast.FuncLit:
-					// The literal may run here (immediate call, defer, go):
-					// its transitive acquisitions pair with the current held
-					// set. Its own body is a separate CG node.
-					if ln := prog.CG.LitNode(x); ln != nil && rec {
-						for to := range may[ln] {
-							record(n, held, to, x.Pos())
+					if x != n.Lit {
+						if rec && onNode != nil {
+							onNode(x, held.clone())
 						}
+						return false
 					}
-					return false
 				case *ast.CallExpr:
-					if class, op := lockEvent(prog, n.Pkg, x); class != "" {
-						switch op {
-						case "Lock", "RLock":
-							if rec {
-								record(n, held, class, x.Pos())
-							}
-							held[class] = true
-						case "Unlock", "RUnlock":
-							if !isDefer {
-								delete(held, class)
-							}
-							// A deferred unlock keeps the lock held for the
-							// remainder of the function, which is exactly the
-							// held-set we want.
+					class, op := lockEvent(prog, n, x)
+					if class == "" {
+						if rec && onNode != nil {
+							onNode(x, held.clone())
 						}
 						return true
 					}
-					if rec {
-						for _, callee := range siteCallees[x] {
-							for to := range may[callee] {
-								record(n, held, to, x.Pos())
-							}
+					switch op {
+					case "Lock", "RLock":
+						if rec && onNode != nil {
+							onNode(x, held.clone())
+						}
+						held[class] = true
+					case "Unlock", "RUnlock":
+						if !isDefer {
+							delete(held, class)
 						}
 					}
 				}
@@ -169,7 +201,6 @@ func analyzeHeldSets(prog *Program, n *CGNode, may map[*CGNode]factSet, record f
 		return held
 	}
 
-	cfg := BuildCFG(n.Body)
 	res := cfg.Fixpoint(factSet{}, func(b *Block, in factSet) factSet {
 		return apply(b, in, false)
 	})
@@ -181,8 +212,11 @@ func analyzeHeldSets(prog *Program, n *CGNode, may map[*CGNode]factSet, record f
 // lockEvent classifies a call as a mutex operation on a module lock
 // class. It matches x.mu.Lock() (named mutex field) and x.Lock()
 // (embedded mutex) where x has a named module struct type, returning
-// the class name and the sync method name.
-func lockEvent(prog *Program, p *Package, call *ast.CallExpr) (class, op string) {
+// the class name and the sync method name. Mutex pointers bound to a
+// plain local (mu := &a.mu; mu.Lock()) resolve through the SSA copy
+// chain to the owner they alias.
+func lockEvent(prog *Program, n *CGNode, call *ast.CallExpr) (class, op string) {
+	p := n.Pkg
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return "", ""
@@ -208,18 +242,47 @@ func lockEvent(prog *Program, p *Package, call *ast.CallExpr) (class, op string)
 			owner = inner.X
 		}
 	}
+	if class := classifyLockOwner(prog, p, owner); class != "" {
+		return class, sel.Sel.Name
+	}
+	// SSA alias resolution: the owner is a plain local bound from a
+	// mutex field or struct elsewhere in the function. Follow the copy
+	// chain to the defining expression and classify that instead.
+	if id, ok := ast.Unparen(owner).(*ast.Ident); ok {
+		f := prog.SSA(n)
+		if v, ok := f.Uses[id]; ok {
+			if def := f.DefExpr(v); def != nil {
+				e := stripAddr(def)
+				// Peel a trailing mutex-field selector: &a.mu aliases a.
+				if inner, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+					if tv, ok := p.Info.Types[e]; ok && isSyncMutex(tv.Type) {
+						e = inner.X
+					}
+				}
+				if class := classifyLockOwner(prog, p, e); class != "" {
+					return class, sel.Sel.Name
+				}
+			}
+		}
+	}
+	return "", ""
+}
+
+// classifyLockOwner maps an owner expression to its module lock class,
+// or "" when the owner is not a named module type.
+func classifyLockOwner(prog *Program, p *Package, owner ast.Expr) string {
 	tv, ok := p.Info.Types[owner]
 	if !ok || tv.Type == nil {
-		return "", ""
+		return ""
 	}
 	named, ok := derefType(tv.Type).(*types.Named)
 	if !ok {
-		return "", ""
+		return ""
 	}
 	if pkg := named.Obj().Pkg(); pkg == nil || !moduleInternal(prog, pkg.Path()) {
-		return "", ""
+		return ""
 	}
-	return classOf(named), sel.Sel.Name
+	return classOf(named)
 }
 
 func isSyncMutex(t types.Type) bool {

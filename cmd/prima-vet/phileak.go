@@ -93,21 +93,64 @@ func runPhileak(prog *Program) []Finding {
 	return out
 }
 
-// phiAnalysis is the intra-function pass: a flow-insensitive taint
-// environment over locals, iterated to a local fixpoint.
+// phiAnalysis is the intra-function pass: a taint environment over the
+// function's SSA values, iterated to a local fixpoint. Keying on SSA
+// values instead of objects makes the analysis flow-sensitive for
+// tracked locals — rebinding a variable to a clean value kills its
+// taint, and taint merges only at phi nodes. Variables SSA does not
+// track (address-taken, captured) fall back to their types.Object key,
+// which degrades to the old flow-insensitive behavior.
 type phiAnalysis struct {
 	prog *Program
 	n    *CGNode
 	sums map[*CGNode]*phiSummary
-	env  map[types.Object]uint64
+	ssa  *FuncSSA
+	env  map[any]uint64
 }
 
 func newPhiAnalysis(prog *Program, n *CGNode, sums map[*CGNode]*phiSummary) *phiAnalysis {
-	a := &phiAnalysis{prog: prog, n: n, sums: sums, env: make(map[types.Object]uint64)}
+	a := &phiAnalysis{prog: prog, n: n, sums: sums, ssa: prog.SSA(n), env: make(map[any]uint64)}
+	idx := make(map[types.Object]int)
 	for i, obj := range paramObjs(n) {
 		a.env[obj] = paramBit(i)
+		idx[obj] = i
+	}
+	for _, v := range a.ssa.Values() {
+		if v.Kind == valParam {
+			if i, ok := idx[v.Obj]; ok {
+				a.env[v] = paramBit(i)
+			}
+		}
 	}
 	return a
+}
+
+// propagate pushes taint along the SSA chains: an in-place update or a
+// close carries the previous version's taint, a phi joins its
+// operands. Reports whether anything changed.
+func (a *phiAnalysis) propagate() bool {
+	changed := false
+	merge := func(v *SSAValue, t uint64) {
+		if old := a.env[v]; old|t != old {
+			a.env[v] = old | t
+			changed = true
+		}
+	}
+	for _, v := range a.ssa.Values() {
+		switch v.Kind {
+		case valUpdate, valClose:
+			if v.Prev != nil {
+				merge(v, a.env[v.Prev])
+			}
+		case valPhi:
+			var t uint64
+			for _, op := range v.Ops {
+				t |= a.env[op]
+			}
+			merge(v, t)
+		}
+	}
+	return changed
 }
 
 // run iterates assignments to a local fixpoint, then (when report is
@@ -133,6 +176,7 @@ func (a *phiAnalysis) run(report func(token.Pos, string)) (ret, sinks uint64) {
 			}
 			return true
 		})
+		changed = a.propagate() || changed
 	}
 
 	ownBody(a.n, func(m ast.Node) bool {
@@ -249,19 +293,27 @@ func (a *phiAnalysis) bindIdent(id *ast.Ident, t uint64) bool {
 	if id.Name == "_" {
 		return false
 	}
-	info := a.n.Pkg.Info
-	obj := info.Defs[id]
-	if obj == nil {
-		obj = info.Uses[id]
+	// Tracked variables bind the SSA value this write defines, so the
+	// taint belongs to this version only.
+	var key any
+	if v, ok := a.ssa.Defs[id]; ok {
+		key = v
+	} else {
+		info := a.n.Pkg.Info
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return false
+		}
+		key = obj
 	}
-	if obj == nil {
-		return false
-	}
-	old := a.env[obj]
+	old := a.env[key]
 	if old|t == old {
 		return false
 	}
-	a.env[obj] = old | t
+	a.env[key] = old | t
 	return true
 }
 
@@ -301,6 +353,9 @@ func (a *phiAnalysis) taintOfRaw(e ast.Expr) uint64 {
 	info := a.n.Pkg.Info
 	switch x := ast.Unparen(e).(type) {
 	case *ast.Ident:
+		if v, ok := a.ssa.Uses[x]; ok {
+			return a.env[v]
+		}
 		if obj := info.Uses[x]; obj != nil {
 			return a.env[obj]
 		}

@@ -22,6 +22,23 @@ type Program struct {
 	// Markers are the repo's analysis annotations (prima:phi,
 	// prima:redact, prima:arena) collected across All.
 	Markers *Markers
+
+	ssaCache map[*CGNode]*FuncSSA
+}
+
+// SSA returns the (memoized) SSA form of one call-graph node. All
+// layer-3 analyzers and the rebased lockorder/phileak share the cache,
+// so each function body is converted at most once per invocation.
+func (prog *Program) SSA(n *CGNode) *FuncSSA {
+	if f, ok := prog.ssaCache[n]; ok {
+		return f
+	}
+	if prog.ssaCache == nil {
+		prog.ssaCache = make(map[*CGNode]*FuncSSA)
+	}
+	f := BuildSSA(n)
+	prog.ssaCache[n] = f
+	return f
 }
 
 // BuildProgram assembles the whole-program view from the loader's

@@ -66,7 +66,7 @@ var current atomic.Pointer[Snapshot]
 func publishBad(v uint64) {
 	s := &Snapshot{version: v}
 	current.Store(s)
-	s.bits = append(s.bits, 1) // want arenasafe "mutated after publication"
+	s.bits = append(s.bits, 1) // want arenasafe "mutated after publication" // want atomicsafe "mutated after atomic publication"
 }
 
 // publishGood freezes the snapshot before the RCU swap.

@@ -1,0 +1,86 @@
+// Package atomicsafe exercises both atomicsafe rules: mixed
+// atomic/plain access to a counter field, and mutation of module
+// structs after they flow through an atomic.Pointer.
+package atomicsafe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counter struct {
+	hits  int64
+	total int64
+}
+
+// bump is the atomic access that marks Counter.hits atomic
+// program-wide.
+func (c *Counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// viaPointer reaches the same field through a pointer local; the SSA
+// copy chain resolves it to &c.hits.
+func viaPointer(c *Counter) {
+	p := &c.hits
+	atomic.AddInt64(p, 1)
+}
+
+func (c *Counter) read() int64 {
+	return c.hits // want atomicsafe "plain read races"
+}
+
+func (c *Counter) reset() {
+	c.hits = 0 // want atomicsafe "plain write races"
+}
+
+// totalOK is plain-only: never touched by sync/atomic, so plain access
+// is fine.
+func (c *Counter) totalOK() int64 {
+	c.total++
+	return c.total
+}
+
+type Snapshot struct {
+	version uint64
+	bits    []uint64
+}
+
+var current atomic.Pointer[Snapshot]
+
+// publishThenMutate hands the snapshot to lock-free readers and keeps
+// writing into it.
+func publishThenMutate(v uint64) {
+	s := &Snapshot{version: v}
+	current.Store(s)
+	s.version = v + 1 // want atomicsafe "mutated after atomic publication"
+}
+
+// publishFresh freezes before the swap: all writes precede Store.
+func publishFresh(v uint64) {
+	s := &Snapshot{version: v}
+	s.bits = append(s.bits, 1)
+	current.Store(s)
+}
+
+// loadMutate writes into a snapshot other goroutines are reading.
+func loadMutate() {
+	s := current.Load()
+	s.version++ // want atomicsafe "mutated after atomic publication"
+}
+
+// lockedBox carries its own mutex: it opts into in-place mutation
+// under its own lock, so the publication rule does not apply.
+type lockedBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+var box atomic.Pointer[lockedBox]
+
+func lockedOK() {
+	b := box.Load()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

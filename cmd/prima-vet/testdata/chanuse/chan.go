@@ -1,0 +1,101 @@
+// Package chanuse exercises the channel-misuse analyzer: nil and
+// closed channel operations resolved through the SSA lattice, and
+// blocking channel operations performed while holding a module lock.
+package chanuse
+
+import "sync"
+
+// nilSend: the only reaching definition is the zero value.
+func nilSend() {
+	var ch chan int
+	ch <- 1 // want chanuse "send on nil channel"
+}
+
+// maybeNil: a phi of the zero value and a make — nil on one path.
+func maybeNil(ready bool) {
+	var ch chan int
+	if ready {
+		ch = make(chan int)
+	}
+	<-ch // want chanuse "possibly-nil channel"
+}
+
+// sendClosed: the reaching definition passed through close().
+func sendClosed() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want chanuse "send on closed channel"
+}
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want chanuse "close of already-closed channel"
+}
+
+// closeOnce is the clean lifecycle: send, close, drain.
+func closeOnce() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	<-ch
+}
+
+// disabledCase: a nil channel inside select is the standard idiom for
+// disabling that case — never reported.
+func disabledCase(in chan int) {
+	var tick chan int
+	select {
+	case <-in:
+	case <-tick:
+	}
+}
+
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+}
+
+var q Queue
+
+// lockedSend parks with the Queue lock held if no receiver is ready.
+func lockedSend(out chan int) {
+	q.mu.Lock()
+	out <- 1 // want chanuse "channel send while holding"
+	q.mu.Unlock()
+}
+
+// bufferedUnderLock: constant capacity > 0, assumed non-blocking.
+func bufferedUnderLock() {
+	buf := make(chan int, 8)
+	q.mu.Lock()
+	buf <- 1
+	q.mu.Unlock()
+	<-buf
+}
+
+// selectDefaultUnderLock never blocks: the default clause bails out.
+func selectDefaultUnderLock(out chan int) {
+	q.mu.Lock()
+	select {
+	case out <- 1:
+	default:
+	}
+	q.mu.Unlock()
+}
+
+func selectUnderLock(in chan int) {
+	q.mu.Lock()
+	select { // want chanuse "select without default while holding"
+	case <-in:
+	}
+	q.mu.Unlock()
+}
+
+func rangeUnderLock(in chan int) {
+	q.mu.Lock()
+	for v := range in { // want chanuse "range over channel while holding"
+		_ = v
+	}
+	q.mu.Unlock()
+}

@@ -1,0 +1,80 @@
+// Package goleak exercises the goroutine-termination analyzer: spins
+// with no escape hatch leak, done-channel and range loops terminate,
+// and divergence propagates through helpers to the spawn site.
+package goleak
+
+import "context"
+
+// spin never returns: a bare for{} with no exit edge.
+func spin() {
+	for {
+	}
+}
+
+func spawnSpin() {
+	go spin() // want goleak "no reachable termination path"
+}
+
+func work() {}
+
+func spawnLitLoop() {
+	go func() { // want goleak "no reachable termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+// spawnDone terminates via the context case.
+func spawnDone(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				work()
+				_ = j
+			}
+		}
+	}()
+}
+
+// spawnRange terminates when jobs is closed and drained.
+func spawnRange(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// spawnBounded terminates after a fixed number of iterations.
+func spawnBounded() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			work()
+		}
+	}()
+}
+
+// block parks forever; the divergence summary marks it never-returning.
+func block() {
+	select {}
+}
+
+func spawnBlock() {
+	go block() // want goleak "no reachable termination path"
+}
+
+// waitLoop's only path through the loop body calls a divergent helper,
+// so it never completes an iteration — interprocedural propagation.
+func waitLoop() {
+	for {
+		block()
+	}
+}
+
+func spawnWaitLoop() {
+	go waitLoop() // want goleak "no reachable termination path"
+}

@@ -45,3 +45,13 @@ func sequential() {
 	b.mu.Lock()
 	b.mu.Unlock()
 }
+
+// aliasBA re-creates the B -> A edge through a mutex pointer local;
+// the SSA copy chain resolves mu back to a's lock class.
+func aliasBA() {
+	b.mu.Lock()
+	mu := &a.mu
+	mu.Lock() // want lockorder "lock-order cycle"
+	mu.Unlock()
+	b.mu.Unlock()
+}

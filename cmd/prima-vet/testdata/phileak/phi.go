@@ -52,3 +52,22 @@ func redacted(r Record) {
 func carrier(r Record) {
 	fmt.Printf("%v\n", r) // want phileak "PHI may reach fmt.Printf"
 }
+
+// rebound demonstrates the SSA rebase's flow-sensitivity: the local
+// briefly holds PHI but is rebound to a clean value before the print,
+// so the old version's taint does not leak onto the new one.
+func rebound(r Record) {
+	s := r.Name
+	s = "redacted"
+	fmt.Println(s) // clean: the printed version never held PHI
+}
+
+// reboundBranch still reports: only one branch cleans the value, and
+// the phi joining the two versions keeps the tainted operand.
+func reboundBranch(r Record, ok bool) {
+	s := r.Name
+	if ok {
+		s = "redacted"
+	}
+	fmt.Println(s) // want phileak "PHI may reach fmt.Println"
+}

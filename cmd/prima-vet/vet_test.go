@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 // wantRx matches expected-diagnostic annotations in fixtures:
 //
 //	// want <analyzer> "<message substring>"
-var wantRx = regexp.MustCompile(`// want (\w+) "(.*)"`)
+var wantRx = regexp.MustCompile(`// want (\w+) "([^"]*)"`)
 
 type want struct {
 	file     string // base name
@@ -39,7 +40,7 @@ func parseWants(t *testing.T, dir string) []want {
 			t.Fatal(err)
 		}
 		for i, line := range strings.Split(string(data), "\n") {
-			if m := wantRx.FindStringSubmatch(line); m != nil {
+			for _, m := range wantRx.FindAllStringSubmatch(line, -1) {
 				out = append(out, want{file: e.Name(), line: i + 1, analyzer: m[1], substr: m[2]})
 			}
 		}
@@ -55,6 +56,7 @@ func TestFixtures(t *testing.T) {
 	fixtures := []string{
 		"lockcheck", "purity", "errcheck", "codecpair",
 		"lockorder", "phileak", "arenasafe",
+		"atomicsafe", "goleak", "chanuse",
 	}
 	for _, fixture := range fixtures {
 		t.Run(fixture, func(t *testing.T) {
@@ -201,5 +203,121 @@ func TestExpandSkipsTestdata(t *testing.T) {
 	}
 	if len(dirs) == 0 {
 		t.Error("./... expanded to nothing")
+	}
+}
+
+// TestOutputModes pins the -json and -sarif wire formats on a broken
+// fixture: structured output goes to stdout, exit codes are unchanged,
+// and the two flags are mutually exclusive.
+func TestOutputModes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./testdata/errcheck"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-json exited %d, want 1:\n%s", code, stderr.String())
+	}
+	var parsed []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &parsed); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if len(parsed) == 0 || parsed[0].Analyzer == "" || parsed[0].Line == 0 {
+		t.Errorf("-json findings malformed: %+v", parsed)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-json", "./testdata/cfgloop"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-json on clean fixture exited %d:\n%s", code, stderr.String())
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("-json clean output = %q, want []", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-sarif", "./testdata/errcheck"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-sarif exited %d, want 1:\n%s", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "prima-vet" {
+		t.Errorf("SARIF envelope malformed: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Fatal("SARIF results empty for broken fixture")
+	}
+	r := log.Runs[0].Results[0]
+	if r.RuleID == "" || len(r.Locations) == 0 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+		t.Errorf("SARIF result malformed: %+v", r)
+	}
+	if uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI; strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+		t.Errorf("SARIF uri %q not module-relative slash-separated", uri)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != len(analyzers) {
+		t.Errorf("SARIF rules = %d, want one per analyzer (%d)", len(log.Runs[0].Tool.Driver.Rules), len(analyzers))
+	}
+
+	var both bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &both, &both); code != 2 {
+		t.Fatalf("-json -sarif exited %d, want 2", code)
+	}
+}
+
+// TestWriteLockOrder pins that -write-lockorder is stable: the
+// acquisition graph observed in the repo reproduces the checked-in
+// lockorder.txt byte-for-byte (the CI sync check depends on this).
+func TestWriteLockOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	before, err := os.ReadFile("lockorder.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.WriteFile("lockorder.txt", before, 0o644); err != nil {
+			t.Errorf("restoring lockorder.txt: %v", err)
+		}
+	}()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-lockorder"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-lockorder exited %d:\n%s", code, stderr.String())
+	}
+	after, err := os.ReadFile("lockorder.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("regenerated lockorder.txt differs from checked-in file:\n%s", after)
 	}
 }

@@ -23,8 +23,23 @@ if [ -n "$fmtout" ]; then
     exit 1
 fi
 
-echo "==> prima-vet ./... (custom static analysis)"
+echo "==> prima-vet ./... (custom static analysis, all three layers)"
 go run ./cmd/prima-vet ./...
+
+echo "==> prima-vet concurrency suite (explicit: atomicsafe,goleak,chanuse)"
+go run ./cmd/prima-vet -run atomicsafe,goleak,chanuse ./...
+
+echo "==> prima-vet SARIF report (kept as a CI artifact)"
+go run ./cmd/prima-vet -sarif ./... > prima-vet.sarif
+
+echo "==> lockorder.txt sync check (-write-lockorder must be a no-op)"
+go run ./cmd/prima-vet -write-lockorder
+if ! git diff --quiet -- cmd/prima-vet/lockorder.txt; then
+    echo "cmd/prima-vet/lockorder.txt is out of sync with the observed acquisition graph:" >&2
+    git diff -- cmd/prima-vet/lockorder.txt >&2
+    git checkout -- cmd/prima-vet/lockorder.txt
+    exit 1
+fi
 
 echo "==> go test ./..."
 go test ./...
