@@ -129,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch {
 	case *jsonOut:
-		if err := writeJSON(stdout, findings); err != nil {
+		if err := writeJSON(stdout, loader.Root, findings); err != nil {
 			fmt.Fprintf(stderr, "prima-vet: %v\n", err)
 			return 2
 		}

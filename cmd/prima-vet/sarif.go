@@ -75,17 +75,13 @@ func writeSARIF(w io.Writer, root string, selected []*Analyzer, findings []Findi
 	}
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {
-		uri := f.Pos.Filename
-		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
-			uri = rel
-		}
 		results = append(results, sarifResult{
 			RuleID:  f.Analyzer,
 			Level:   "warning",
 			Message: sarifText{Text: f.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{
-					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relPath(root, f.Pos.Filename))},
 					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
 				},
 			}},
@@ -103,6 +99,16 @@ func writeSARIF(w io.Writer, root string, selected []*Analyzer, findings []Findi
 	})
 }
 
+// relPath makes name module-root-relative when it lies under root, so
+// both machine formats (-json and -sarif) are portable across CI
+// machines; paths outside the module stay absolute.
+func relPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
 // jsonFinding is the -json wire form of one finding.
 type jsonFinding struct {
 	File     string `json:"file"`
@@ -113,12 +119,13 @@ type jsonFinding struct {
 }
 
 // writeJSON renders findings as a JSON array (empty array when clean,
-// never null, so consumers can range unconditionally).
-func writeJSON(w io.Writer, findings []Finding) error {
+// never null, so consumers can range unconditionally). File fields are
+// module-root-relative, matching the SARIF URIs.
+func writeJSON(w io.Writer, root string, findings []Finding) error {
 	out := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
 		out = append(out, jsonFinding{
-			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+			File: relPath(root, f.Pos.Filename), Line: f.Pos.Line, Column: f.Pos.Column,
 			Analyzer: f.Analyzer, Message: f.Message,
 		})
 	}

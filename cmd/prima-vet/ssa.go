@@ -593,7 +593,12 @@ func (b *ssaBuilder) walkStmt(s ast.Stmt, read func(*ast.Ident), write func(*ast
 			b.walkExpr(r, read, write)
 		}
 	case *ast.DeferStmt:
-		b.walkExpr(x.Call, read, write)
+		// The call and its arguments are evaluated here, but the call
+		// itself runs at function exit: a deferred close(ch) must not
+		// define a valClose version at the defer site, or the idiomatic
+		// `defer close(ch); ch <- 1` reads as a send on a closed
+		// channel. Walk for reads only, dropping the close write.
+		b.walkExpr(x.Call, read, func(*ast.Ident, valKind, ast.Expr) {})
 	case *ast.GoStmt:
 		b.walkExpr(x.Call, read, write)
 	case *ast.BranchStmt, *ast.EmptyStmt:

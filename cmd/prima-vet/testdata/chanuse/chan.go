@@ -41,6 +41,15 @@ func closeOnce() {
 	<-ch
 }
 
+// deferClose is the idiomatic deferred cleanup: the close runs at
+// function exit, after every send — never reported.
+func deferClose() {
+	ch := make(chan int, 1)
+	defer close(ch)
+	ch <- 1
+	<-ch
+}
+
 // disabledCase: a nil channel inside select is the standard idiom for
 // disabling that case — never reported.
 func disabledCase(in chan int) {

@@ -226,6 +226,13 @@ func TestOutputModes(t *testing.T) {
 	if len(parsed) == 0 || parsed[0].Analyzer == "" || parsed[0].Line == 0 {
 		t.Errorf("-json findings malformed: %+v", parsed)
 	}
+	for _, f := range parsed {
+		// Like the SARIF URIs, -json file fields are module-relative so
+		// the output is portable across CI machines.
+		if filepath.IsAbs(f.File) {
+			t.Errorf("-json file %q is absolute, want module-relative", f.File)
+		}
+	}
 
 	stdout.Reset()
 	stderr.Reset()

@@ -23,14 +23,21 @@ if [ -n "$fmtout" ]; then
     exit 1
 fi
 
+echo "==> prima-vet SARIF report (kept as a CI artifact, findings or not)"
+# Generated before the gating run so the artifact captures the findings
+# that fail the build: exit 1 (findings) is tolerated here — the plain
+# run below still fails the gate — but load/usage errors (>= 2) abort.
+sarif_status=0
+go run ./cmd/prima-vet -sarif ./... > prima-vet.sarif || sarif_status=$?
+if [ "$sarif_status" -ge 2 ]; then
+    exit "$sarif_status"
+fi
+
 echo "==> prima-vet ./... (custom static analysis, all three layers)"
 go run ./cmd/prima-vet ./...
 
 echo "==> prima-vet concurrency suite (explicit: atomicsafe,goleak,chanuse)"
 go run ./cmd/prima-vet -run atomicsafe,goleak,chanuse ./...
-
-echo "==> prima-vet SARIF report (kept as a CI artifact)"
-go run ./cmd/prima-vet -sarif ./... > prima-vet.sarif
 
 echo "==> lockorder.txt sync check (-write-lockorder must be a no-op)"
 go run ./cmd/prima-vet -write-lockorder
