@@ -1415,3 +1415,115 @@ func BenchmarkE15_MiningScale(b *testing.B) {
 		})
 	}
 }
+
+// ---- E16: durable storage engine ----
+
+// benchBatched drives batched appends from the ingest pool: one
+// append call per 256 entries, the pipeline's bulk mode.
+func benchBatched(b *testing.B, append func(batch []audit.Entry) error) {
+	pool := ingestPool()
+	for n := 0; n < b.N; n += 256 {
+		k := 256
+		if b.N-n < k {
+			k = b.N - n
+		}
+		off := n % len(pool)
+		if off+k > len(pool) {
+			off = 0
+		}
+		if err := append(pool[off : off+k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16_Durability measures the durable storage engine under
+// the audit store (PR 9). The contract: batched group-commit durable
+// ingest lands within ~2x of the in-memory batched baseline, because
+// the WAL amortizes its fsyncs over whole commit windows (reported as
+// fsyncs/op) and the B+tree index absorbs writes through the buffer
+// pool (reported as pool-hit-rate). The recovery row measures
+// cold-start at one million checkpointed entries: JSONL decode, bulk
+// shard load, and refinement-index rebuild (entries/s).
+func BenchmarkE16_Durability(b *testing.B) {
+	b.Run("memory/batch=256", func(b *testing.B) {
+		l := audit.NewLog("ward")
+		b.ReportAllocs()
+		benchBatched(b, func(batch []audit.Entry) error {
+			return l.Append(batch...)
+		})
+	})
+	openBench := func(b *testing.B, o audit.DurableOptions) *audit.Durable {
+		b.Helper()
+		d, _, err := audit.OpenDurable("ward", b.TempDir(), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	durableRun := func(o audit.DurableOptions) func(b *testing.B) {
+		return func(b *testing.B) {
+			d := openBench(b, o)
+			b.ReportAllocs()
+			b.ResetTimer()
+			benchBatched(b, func(batch []audit.Entry) error {
+				return d.Append(batch...)
+			})
+			d.Sync() // the durability point: group-commit fsync of the tail
+			b.StopTimer()
+			b.ReportMetric(float64(d.WALSyncs())/float64(b.N), "fsyncs/op")
+			b.ReportMetric(d.PoolStats().HitRate(), "pool-hit-rate")
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("durable/batch=256", durableRun(audit.DurableOptions{}))
+	b.Run("durable-nosync/batch=256", durableRun(audit.DurableOptions{NoSync: true}))
+
+	b.Run("recovery/1M", func(b *testing.B) {
+		entries := 1 << 20
+		if testing.Short() {
+			// The CI smoke runs one iteration with -short; the full
+			// bench.sh run measures the real million-entry cold start.
+			entries = 1 << 16
+		}
+		dir := b.TempDir()
+		pool := ingestPool()
+		d, _, err := audit.OpenDurable("ward", dir, audit.DurableOptions{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n := 0; n < entries; n += len(pool) {
+			if entries-n < len(pool) {
+				pool = pool[:entries-n]
+			}
+			if err := d.Append(pool...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, rs, err := audit.OpenDurable("ward", dir, audit.DurableOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rs.CheckpointEntries != entries {
+				b.Fatalf("recovered %d entries, want %d", rs.CheckpointEntries, entries)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(entries)/rs.Elapsed.Seconds(), "entries/s")
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}

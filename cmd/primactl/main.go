@@ -13,6 +13,7 @@
 //	primactl report   -vocab V -policy P -audit A [-title T]
 //	primactl lint     -vocab V -policy P [-json] [-overbroad F] [-materialize]
 //	primactl vocab    [-file V] [-gen BxD] [-stats]  print or generate a vocabulary
+//	primactl audit recover -dir D [-site S] [-checkpoint=false] [-export out.jsonl]
 //
 // Vocabularies use the indented text format, policies one compact
 // rule per line, audit logs JSONL or CSV (by extension).
@@ -74,8 +75,10 @@ func run(args []string) error {
 		return cmdReport(args[1:])
 	case "lint":
 		return cmdLint(args[1:])
+	case "audit":
+		return cmdAudit(args[1:])
 	case "help", "-h", "--help":
-		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, patterns, generalize, report, lint, vocab")
+		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, patterns, generalize, report, lint, vocab, audit recover")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

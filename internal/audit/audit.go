@@ -229,10 +229,16 @@ const defaultShards = 16
 // concurrent appends contend only per stripe while Snapshot and Delta
 // still observe one deterministic total order.
 type Log struct {
-	site   string
-	mask   uint64
-	seq    atomic.Uint64 // last assigned sequence number
-	epoch  atomic.Uint64 // bumped by structural ops (Reset/Expire/Rotate)
+	site  string
+	mask  uint64
+	seq   atomic.Uint64 // last assigned sequence number
+	epoch atomic.Uint64 // bumped by structural ops (Reset/Expire/Rotate)
+	// addMu brackets the assign-sequence-then-add-to-shard window of
+	// every append (shared side). The durable checkpoint takes the
+	// exclusive side as a fence: once acquired, every sequence number
+	// at or below a previously read l.seq is visible in its shard, so
+	// a checkpoint cut at that sequence loses nothing.
+	addMu  sync.RWMutex
 	sink   atomic.Pointer[sink]
 	shards []*shard
 }
@@ -320,6 +326,7 @@ func (l *Log) Append(entries ...Entry) error {
 				st.Site = l.site
 				e = &st
 			}
+			l.addMu.RLock()
 			var seq uint64
 			if s != nil {
 				seq = s.send(l, *e)
@@ -327,6 +334,7 @@ func (l *Log) Append(entries ...Entry) error {
 				seq = l.seq.Add(1)
 			}
 			l.shardFor(e).add(seq, e)
+			l.addMu.RUnlock()
 		}
 		return nil
 	}
@@ -340,6 +348,8 @@ func (l *Log) Append(entries ...Entry) error {
 // entry. Sequence numbers follow input order, so Snapshot observes
 // the batch exactly as a per-entry loop would.
 func (l *Log) appendBatch(entries []Entry, stampSite bool) {
+	l.addMu.RLock()
+	defer l.addMu.RUnlock()
 	base := l.seq.Add(uint64(len(entries))) - uint64(len(entries))
 	// Bucket the batch by shard with a counting sort over the indices,
 	// so each shard's pass walks only its own entries instead of
@@ -430,6 +440,33 @@ func (l *Log) collect() []stamped {
 		buf = append(buf, sh.entries...)
 		sh.mu.RUnlock()
 	}
+	return buf
+}
+
+// settle is the durable checkpoint's fence: after it returns, every
+// append whose sequence number was assigned before the call has
+// finished adding to its shard, so collectRange over a sequence read
+// before the fence observes a complete cut.
+func (l *Log) settle() {
+	l.addMu.Lock()
+	//lint:ignore SA2001 the empty critical section is the fence
+	l.addMu.Unlock()
+}
+
+// collectRange returns the stamped entries with lo < seq <= hi in
+// ascending sequence order.
+func (l *Log) collectRange(lo, hi uint64) []stamped {
+	var buf []stamped
+	for _, sh := range l.shards {
+		sh.mu.RLock()
+		for _, se := range sh.entries {
+			if se.seq > lo && se.seq <= hi {
+				buf = append(buf, se)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].seq < buf[j].seq })
 	return buf
 }
 

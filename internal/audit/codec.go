@@ -41,6 +41,38 @@ func ReadJSONL(r io.Reader) ([]Entry, error) {
 	return out, nil
 }
 
+// ReadJSONLTolerant reads entries like ReadJSONL but tolerates the
+// one kind of damage a crash mid-append leaves behind: a truncated
+// final line. A last line that does not parse as a complete entry
+// (and is not newline-terminated) is dropped and reported through
+// truncated; a malformed line anywhere else is still an error, since
+// mid-file corruption is never the product of a torn write.
+func ReadJSONLTolerant(r io.Reader) (entries []Entry, truncated bool, err error) {
+	br := bufio.NewReader(r)
+	for i := 0; ; i++ {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) == 0 && rerr != nil {
+			break
+		}
+		var e Entry
+		if jerr := json.Unmarshal(line, &e); jerr != nil {
+			if rerr == io.EOF {
+				// Torn tail: the file ends inside this line.
+				return entries, true, nil
+			}
+			return nil, false, fmt.Errorf("audit: decode entry %d: %w", i, jerr)
+		}
+		if verr := e.Validate(); verr != nil {
+			return nil, false, fmt.Errorf("audit: entry %d: %w", i, verr)
+		}
+		entries = append(entries, e)
+		if rerr != nil {
+			break
+		}
+	}
+	return entries, false, nil
+}
+
 // csvHeader is the column order of the CSV codec; the first seven
 // columns are the paper's Table 1 schema.
 var csvHeader = []string{"time", "op", "user", "data", "purpose", "authorized", "status", "site", "reason"}

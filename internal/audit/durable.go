@@ -1,0 +1,760 @@
+package audit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Durable extends the append-only JSONL sink into a real recovery
+// log. Three artifacts live in one directory:
+//
+//   - log.jsonl — the checkpointed entry log, byte-identical to
+//     WriteJSONL over the checkpointed prefix of the append order. The
+//     durable byte length is attested by the index store's meta blob,
+//     so a torn append during a checkpoint is cut away on reopen.
+//   - wal/ — a group-commit WAL of binary (seq, entry) records
+//     covering everything appended since the last checkpoint. Appends
+//     flow into it through the log's asynchronous sink; the WAL's
+//     single fsync per commit window is shared by the whole batch.
+//   - index.db — a storage.Store holding the persistent secondary
+//     index keyed (time, status, seq) with the encoded entry as the
+//     value. Retention expiry scans and SnapshotByTime range reads are
+//     served from it instead of a full in-memory sort.
+//
+// Recovery replays log.jsonl plus the WAL tail to rebuild the
+// in-memory log — per-shard refinement index included, since bulkLoad
+// folds the accumulators as it goes — and concludes with a checkpoint
+// that re-persists the tail, so the WAL never grows across restarts.
+type Durable struct {
+	dir   string
+	log   *Log
+	store *storage.Store
+	wal   *storage.WAL
+	jf    storage.File
+	onErr func(error)
+
+	noSync bool
+
+	mu      sync.Mutex // serializes checkpoint/expire/index reads
+	ckptSeq uint64     // entries with seq <= ckptSeq are in log.jsonl + index
+	jsize   int64      // durable byte length of log.jsonl
+	count   uint64     // entries in log.jsonl
+	dropped uint64     // DropOnFull drops recorded up to the last checkpoint
+}
+
+// DurableOptions tunes OpenDurable. The zero value selects defaults.
+type DurableOptions struct {
+	// Sink configures the in-process queue feeding the WAL (batching,
+	// queue depth, DropOnFull backpressure).
+	Sink SinkOptions
+	// CommitInterval is the WAL group-commit window (storage.WALOptions).
+	CommitInterval time.Duration
+	// SegmentBytes is the WAL segment roll size.
+	SegmentBytes int64
+	// PoolPages is the index store's buffer-pool budget in pages.
+	PoolPages int
+	// NoSync skips fsyncs everywhere (benchmark baseline only).
+	NoSync bool
+	// OpenFile substitutes the file implementation (crash injection).
+	OpenFile storage.OpenFileFunc
+	// OnErr receives asynchronous sink/WAL errors (may be nil).
+	OnErr func(error)
+}
+
+// RecoveryStats reports what OpenDurable rebuilt.
+type RecoveryStats struct {
+	// CheckpointEntries were loaded from log.jsonl.
+	CheckpointEntries int
+	// WALEntries were replayed from the WAL tail.
+	WALEntries int
+	// WALSegments is the number of WAL segment files read.
+	WALSegments int
+	// TornTail reports a torn frame at the end of the WAL (the
+	// expected wreckage of a crash mid-flush), truncated on reopen.
+	TornTail bool
+	// TruncatedLine reports a torn final JSONL line dropped while
+	// bootstrapping from a plain sink file.
+	TruncatedLine bool
+	// Dropped counts sequence gaps in the recovered stream: entries
+	// the sink dropped under DropOnFull before the shutdown.
+	Dropped uint64
+	// IndexGroups is the number of refinement-index groups rebuilt.
+	IndexGroups int
+	// Elapsed is the wall-clock recovery time.
+	Elapsed time.Duration
+}
+
+// app blob layout ("ADU1" + ckptSeq + jsonlBytes + count + dropped +
+// epoch).
+const (
+	appMagic = "ADU1"
+	appLen   = 4 + 8*5
+)
+
+func encodeApp(ckptSeq uint64, jsize int64, count, dropped, epoch uint64) []byte {
+	b := make([]byte, appLen)
+	copy(b[0:4], appMagic)
+	binary.LittleEndian.PutUint64(b[4:], ckptSeq)
+	binary.LittleEndian.PutUint64(b[12:], uint64(jsize))
+	binary.LittleEndian.PutUint64(b[20:], count)
+	binary.LittleEndian.PutUint64(b[28:], dropped)
+	binary.LittleEndian.PutUint64(b[36:], epoch)
+	return b
+}
+
+func decodeApp(b []byte) (ckptSeq uint64, jsize int64, count, dropped, epoch uint64, err error) {
+	if len(b) == 0 {
+		return 0, 0, 0, 0, 0, nil
+	}
+	if len(b) != appLen || string(b[0:4]) != appMagic {
+		return 0, 0, 0, 0, 0, fmt.Errorf("audit: unrecognized durable meta blob (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[4:]),
+		int64(binary.LittleEndian.Uint64(b[12:])),
+		binary.LittleEndian.Uint64(b[20:]),
+		binary.LittleEndian.Uint64(b[28:]),
+		binary.LittleEndian.Uint64(b[36:]), nil
+}
+
+// appendStamped encodes one (seq, entry) pair: the WAL record format
+// and the index value format. The timestamp keeps its instant and its
+// zone offset, which is all RFC3339 output depends on, so a recovered
+// entry re-encodes to byte-identical JSON.
+func appendStamped(dst []byte, seq uint64, e *Entry) []byte {
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendVarint(dst, e.Time.UnixNano())
+	_, off := e.Time.Zone()
+	dst = binary.AppendVarint(dst, int64(off))
+	dst = binary.AppendUvarint(dst, uint64(e.Op))
+	dst = binary.AppendUvarint(dst, uint64(e.Status))
+	for _, s := range [...]string{e.User, e.Data, e.Purpose, e.Authorized, e.Site, e.Reason} {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+func decodeStamped(b []byte) (uint64, Entry, error) {
+	var e Entry
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, false
+		}
+		b = b[n:]
+		return v, true
+	}
+	nextSigned := func() (int64, bool) {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return 0, false
+		}
+		b = b[n:]
+		return v, true
+	}
+	seq, ok := next()
+	ns, ok2 := nextSigned()
+	off, ok3 := nextSigned()
+	op, ok4 := next()
+	st, ok5 := next()
+	if !ok || !ok2 || !ok3 || !ok4 || !ok5 {
+		return 0, e, fmt.Errorf("audit: short durable record header")
+	}
+	if off == 0 {
+		e.Time = time.Unix(0, ns).UTC()
+	} else {
+		e.Time = time.Unix(0, ns).In(time.FixedZone("", int(off)))
+	}
+	e.Op = Op(op)
+	e.Status = Status(st)
+	for _, p := range [...]*string{&e.User, &e.Data, &e.Purpose, &e.Authorized, &e.Site, &e.Reason} {
+		n, ok := next()
+		if !ok || uint64(len(b)) < n {
+			return 0, e, fmt.Errorf("audit: short durable record string")
+		}
+		*p = string(b[:n])
+		b = b[n:]
+	}
+	return seq, e, nil
+}
+
+// indexKey builds the composite secondary-index key: big-endian
+// sign-flipped unix nanoseconds, status byte, big-endian sequence
+// number — so byte order is (time, status, seq) order, and an 8-byte
+// time prefix is a valid exclusive scan bound for "everything before
+// this instant".
+const indexKeyLen = 8 + 1 + 8
+
+func indexKey(t time.Time, st Status, seq uint64) []byte {
+	k := make([]byte, indexKeyLen)
+	binary.BigEndian.PutUint64(k[0:8], uint64(t.UnixNano())^(1<<63))
+	k[8] = byte(st)
+	binary.BigEndian.PutUint64(k[9:], seq)
+	return k
+}
+
+// indexTimeBound is the 8-byte prefix bounding all keys with
+// timestamp strictly before t (exclusive upper bound) or at/after t
+// (inclusive lower bound).
+func indexTimeBound(t time.Time) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, uint64(t.UnixNano())^(1<<63))
+	return k
+}
+
+func indexKeyTime(k []byte) (time.Time, Status) {
+	ns := int64(binary.BigEndian.Uint64(k[0:8]) ^ (1 << 63))
+	return time.Unix(0, ns).UTC(), Status(k[8])
+}
+
+// walFeed adapts the WAL to the sink's stampedWriter: one WAL record
+// per entry, appended by the single sink flusher goroutine, made
+// durable by the WAL's own group-commit flusher. When the sink has
+// dropped entries under DropOnFull, a drop-marker record carries the
+// highest dropped sequence number, so recovery can count gaps past
+// the last surviving entry record. A marker's first byte is 0x00 — a
+// value no entry record starts with, since its leading uvarint is a
+// sequence number >= 1.
+type walFeed struct {
+	w      *storage.WAL
+	buf    []byte
+	marker uint64 // highest drop marker already written
+}
+
+func (f *walFeed) writeStamped(batch []stamped, dropHigh uint64) error {
+	for i := range batch {
+		f.buf = appendStamped(f.buf[:0], batch[i].seq, &batch[i].e)
+		if _, err := f.w.Append(f.buf); err != nil {
+			return err
+		}
+	}
+	if dropHigh > f.marker {
+		f.buf = append(f.buf[:0], 0x00)
+		f.buf = binary.AppendUvarint(f.buf, dropHigh)
+		if _, err := f.w.Append(f.buf); err != nil {
+			return err
+		}
+		f.marker = dropHigh
+	}
+	return nil
+}
+
+func (f *walFeed) syncStamped() error { return f.w.Sync() }
+
+// OpenDurable opens (creating if needed) the durable audit store in
+// dir for the named site. Recovery rebuilds the in-memory log from
+// the checkpointed JSONL plus the WAL tail; if dir holds only a plain
+// log.jsonl written by the file sink, the store bootstraps from it,
+// tolerating a torn final line.
+func OpenDurable(site, dir string, o DurableOptions) (*Durable, RecoveryStats, error) {
+	start := time.Now()
+	var rs RecoveryStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rs, err
+	}
+	openFile := o.OpenFile
+	if openFile == nil {
+		openFile = storage.OpenOSFile
+	}
+	st, err := storage.OpenStore(filepath.Join(dir, "index.db"), storage.Options{
+		PoolPages: o.PoolPages,
+		OpenFile:  o.OpenFile,
+		NoSync:    o.NoSync,
+	})
+	if err != nil {
+		return nil, rs, err
+	}
+	d := &Durable{dir: dir, store: st, onErr: o.OnErr, noSync: o.NoSync}
+	fail := func(err error) (*Durable, RecoveryStats, error) {
+		if d.wal != nil {
+			d.wal.Close()
+		}
+		if d.jf != nil {
+			d.jf.Close()
+		}
+		st.Close()
+		return nil, rs, err
+	}
+	var epoch uint64
+	d.ckptSeq, d.jsize, d.count, d.dropped, epoch, err = decodeApp(st.App())
+	if err != nil {
+		return fail(err)
+	}
+
+	d.jf, err = openFile(filepath.Join(dir, "log.jsonl"))
+	if err != nil {
+		return fail(err)
+	}
+	size, err := d.jf.Size()
+	if err != nil {
+		return fail(err)
+	}
+
+	// WAL tail first: everything with seq > ckptSeq is newer than the
+	// last checkpoint; anything at or below is a stale frame from a
+	// crash between checkpoint and truncation. Reading the WAL before
+	// the JSONL also disambiguates a version-0 store: with WAL records
+	// present, a non-empty log.jsonl is the wreckage of a crashed first
+	// checkpoint (the WAL covers everything, the JSONL is discarded);
+	// with none, it is a plain legacy sink file to adopt.
+	walDir := filepath.Join(dir, "wal")
+	var tail []Entry
+	var maxSeq uint64
+	wst, err := storage.Replay(walDir, o.OpenFile, func(lsn uint64, p []byte) error {
+		if len(p) > 0 && p[0] == 0x00 {
+			// Drop marker: the highest seq the sink dropped. It extends
+			// the gap accounting past the last surviving entry record.
+			dh, n := binary.Uvarint(p[1:])
+			if n <= 0 {
+				return fmt.Errorf("audit: short drop marker record")
+			}
+			if dh > maxSeq {
+				maxSeq = dh
+			}
+			return nil
+		}
+		seq, e, derr := decodeStamped(p)
+		if derr != nil {
+			return derr
+		}
+		if seq <= d.ckptSeq {
+			return nil
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		tail = append(tail, e)
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	rs.WALEntries = len(tail)
+	rs.WALSegments = wst.Segments
+	rs.TornTail = wst.TornTail
+
+	var entries []Entry
+	bootstrap := false
+	switch {
+	case st.Version() == 0 && size > 0 && wst.Records == 0:
+		// A plain sink file from before the durable store existed:
+		// adopt its contents (torn final line tolerated) and convert by
+		// checkpointing everything below.
+		bootstrap = true
+		entries, rs.TruncatedLine, err = ReadJSONLTolerant(io.NewSectionReader(d.jf, 0, size))
+		if err != nil {
+			return fail(fmt.Errorf("audit: bootstrap from log.jsonl: %w", err))
+		}
+		d.jsize, d.count = 0, 0
+	case size < d.jsize:
+		return fail(fmt.Errorf("audit: log.jsonl is %d bytes, checkpoint attests %d", size, d.jsize))
+	default:
+		if size > d.jsize {
+			// Torn checkpoint append past the attested length.
+			if err := d.jf.Truncate(d.jsize); err != nil {
+				return fail(err)
+			}
+		}
+		if d.jsize > 0 {
+			entries, err = ReadJSONL(io.NewSectionReader(d.jf, 0, d.jsize))
+			if err != nil {
+				return fail(fmt.Errorf("audit: checkpointed log.jsonl: %w", err))
+			}
+		}
+		if uint64(len(entries)) != d.count {
+			return fail(fmt.Errorf("audit: log.jsonl holds %d entries, checkpoint attests %d", len(entries), d.count))
+		}
+	}
+	rs.CheckpointEntries = len(entries)
+
+	d.log = NewLog(site)
+	d.log.bulkLoad(entries)
+	if d.ckptSeq > d.log.seq.Load() {
+		// Sequence gaps (dropped entries) compacted out of the JSONL:
+		// resume numbering past the checkpoint cut so WAL-tail seqs
+		// stay above every in-memory one.
+		d.log.seq.Store(d.ckptSeq)
+	}
+	d.log.bulkLoad(tail)
+	tailDrops := uint64(0)
+	if maxSeq > d.ckptSeq {
+		tailDrops = (maxSeq - d.ckptSeq) - uint64(len(tail))
+	}
+	rs.Dropped = d.dropped + tailDrops
+	d.dropped += tailDrops
+
+	d.wal, err = storage.OpenWAL(walDir, storage.WALOptions{
+		SegmentBytes:   o.SegmentBytes,
+		CommitInterval: o.CommitInterval,
+		NoSync:         o.NoSync,
+		OpenFile:       o.OpenFile,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	// Epoch continuity: a clean restart (no tail, no wreckage) rebuilds
+	// the log byte-for-byte, so restoring the checkpointed epoch keeps
+	// old Delta cursors valid. Any recovery that changed what a cursor
+	// would have seen — a replayed tail, a bootstrap, a torn WAL —
+	// advances the epoch so stale cursors mismatch and their consumers
+	// (mining sessions included) resync instead of silently skipping
+	// recovered entries.
+	if bootstrap || len(tail) > 0 || rs.TornTail {
+		epoch++
+		d.log.epoch.Store(epoch)
+		// Conclude recovery with a checkpoint: the tail is re-persisted
+		// into log.jsonl and the index, and the WAL shrinks back to
+		// (almost) nothing, so recovery work never accumulates.
+		if err := d.checkpointLocked(); err != nil {
+			return fail(err)
+		}
+	} else {
+		d.log.epoch.Store(epoch)
+	}
+
+	d.log.setBatchSink(&walFeed{w: d.wal}, o.OnErr, o.Sink)
+	rs.IndexGroups = len(d.log.Groups())
+	rs.Elapsed = time.Since(start)
+	return d, rs, nil
+}
+
+// Log returns the in-memory log backed by this store. Appends through
+// it flow into the WAL via the attached sink.
+func (d *Durable) Log() *Log { return d.log }
+
+// Append forwards to the underlying log.
+func (d *Durable) Append(entries ...Entry) error { return d.log.Append(entries...) }
+
+// Sync blocks until every entry appended before the call is durable
+// in the WAL (one shared group-commit fsync away, not one per entry).
+func (d *Durable) Sync() { d.log.Flush() }
+
+// Dropped reports the total entries dropped under the DropOnFull
+// policy across the store's lifetime, including recovered gaps.
+func (d *Durable) Dropped() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped + d.log.SinkDropped()
+}
+
+// CheckpointSeq returns the sequence number of the last checkpoint
+// cut (entries at or below it live in log.jsonl and the index).
+func (d *Durable) CheckpointSeq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ckptSeq
+}
+
+// PoolStats exposes the index store's buffer-pool counters.
+func (d *Durable) PoolStats() storage.PoolStats { return d.store.PoolStats() }
+
+// WALSyncs reports the WAL's fsync count (group-commit amortization).
+func (d *Durable) WALSyncs() uint64 { return d.wal.Syncs() }
+
+// Checkpoint durably folds everything appended so far into log.jsonl
+// and the secondary index, then truncates the WAL behind the cut.
+func (d *Durable) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *Durable) checkpointLocked() error {
+	// Capture the truncation bound BEFORE the cut: every WAL record at
+	// or below this LSN was appended before cur was read, so its seq
+	// is at or below cur and the checkpoint below covers it.
+	lsnCut := d.wal.LastLSN()
+	cur := d.log.seq.Load()
+	// Fence: after settle, every seq <= cur is visible in its shard.
+	d.log.settle()
+	batch := d.log.collectRange(d.ckptSeq, cur)
+
+	var buf []byte
+	var err error
+	for i := range batch {
+		if buf, err = appendJSONLine(buf, &batch[i].e); err != nil {
+			return err
+		}
+	}
+	newSize := d.jsize + int64(len(buf))
+	if len(buf) > 0 {
+		if _, err := d.jf.WriteAt(buf, d.jsize); err != nil {
+			return err
+		}
+		if err := d.jf.Truncate(newSize); err != nil {
+			return err
+		}
+		if !d.noSync {
+			if err := d.jf.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	var val []byte
+	for i := range batch {
+		se := &batch[i]
+		val = appendStamped(val[:0], se.seq, &se.e)
+		if err := d.store.Put(indexKey(se.e.Time, se.e.Status, se.seq), val); err != nil {
+			return err
+		}
+	}
+	// Gaps in (ckptSeq, cur] are sequence numbers that were assigned
+	// but never reached a shard: DropOnFull drops.
+	newDropped := d.dropped + (cur - d.ckptSeq) - uint64(len(batch))
+	newCount := d.count + uint64(len(batch))
+	if err := d.store.Checkpoint(encodeApp(cur, newSize, newCount, newDropped, d.log.epoch.Load())); err != nil {
+		return err
+	}
+	if err := d.wal.TruncateBefore(lsnCut + 1); err != nil {
+		return err
+	}
+	d.ckptSeq = cur
+	d.jsize = newSize
+	d.count = newCount
+	d.dropped = newDropped
+	return nil
+}
+
+// SnapshotRange returns the entries with from <= time < to in
+// chronological order (same-instant entries in append order),
+// byte-identical to filtering SnapshotByTime. The checkpointed part
+// is a single index range read; only the un-checkpointed tail touches
+// the in-memory shards. A zero bound means unbounded.
+func (d *Durable) SnapshotRange(from, to time.Time) ([]Entry, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotRangeLocked(from, to)
+}
+
+func (d *Durable) snapshotRangeLocked(from, to time.Time) ([]Entry, error) {
+	var lo, hi []byte
+	if !from.IsZero() {
+		lo = indexTimeBound(from)
+	}
+	if !to.IsZero() {
+		hi = indexTimeBound(to)
+	}
+	var ckpt []stamped
+	var decErr error
+	err := d.store.Scan(lo, hi, func(k, v []byte) bool {
+		seq, e, derr := decodeStamped(v)
+		if derr != nil {
+			decErr = derr
+			return false
+		}
+		ckpt = append(ckpt, stamped{seq: seq, e: e})
+		return true
+	})
+	if err == nil {
+		err = decErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Index byte order is (time, status, seq); restore (time, seq)
+	// order. Sequence spaces across recovery generations ascend, so
+	// seq order within an instant is append order.
+	sortStamped(ckpt)
+
+	inRange := func(t time.Time) bool {
+		return (from.IsZero() || !t.Before(from)) && (to.IsZero() || t.Before(to))
+	}
+	var tail []stamped
+	for _, se := range d.log.collectRange(d.ckptSeq, ^uint64(0)) {
+		if inRange(se.e.Time) {
+			tail = append(tail, se)
+		}
+	}
+	sortStamped(tail)
+
+	// Merge; on equal instants the checkpointed side wins — its
+	// entries were appended before every tail entry.
+	out := make([]Entry, 0, len(ckpt)+len(tail))
+	i, j := 0, 0
+	for i < len(ckpt) && j < len(tail) {
+		if !tail[j].e.Time.Before(ckpt[i].e.Time) {
+			out = append(out, ckpt[i].e)
+			i++
+		} else {
+			out = append(out, tail[j].e)
+			j++
+		}
+	}
+	for ; i < len(ckpt); i++ {
+		out = append(out, ckpt[i].e)
+	}
+	for ; j < len(tail); j++ {
+		out = append(out, tail[j].e)
+	}
+	return out, nil
+}
+
+func sortStamped(buf []stamped) {
+	sort.Slice(buf, func(i, j int) bool {
+		if !buf[i].e.Time.Equal(buf[j].e.Time) {
+			return buf[i].e.Time.Before(buf[j].e.Time)
+		}
+		return buf[i].seq < buf[j].seq
+	})
+}
+
+// SnapshotByTime serves the federation TimeSource contract from the
+// persistent index. Index read errors are reported through OnErr and
+// answered from memory, so a consolidation never sees a partial view.
+func (d *Durable) SnapshotByTime() []Entry {
+	es, err := d.SnapshotRange(time.Time{}, time.Time{})
+	if err != nil {
+		if d.onErr != nil {
+			d.onErr(err)
+		}
+		return d.log.SnapshotByTime()
+	}
+	return es
+}
+
+// ExpireScan counts, from the persistent index plus the in-memory
+// tail, the entries an Expire(cutoff, exceptionCutoff) would drop —
+// without touching entry values: the composite key alone carries the
+// timestamp and status the retention rule needs.
+func (d *Durable) ExpireScan(cutoff, exceptionCutoff time.Time) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	keep := func(t time.Time, st Status) bool {
+		if !t.Before(cutoff) {
+			return true
+		}
+		return st == Exception && !exceptionCutoff.IsZero() && !t.Before(exceptionCutoff)
+	}
+	err := d.store.Scan(nil, indexTimeBound(cutoff), func(k, v []byte) bool {
+		if t, st := indexKeyTime(k); !keep(t, st) {
+			n++
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, se := range d.log.collectRange(d.ckptSeq, ^uint64(0)) {
+		if !keep(se.e.Time, se.e.Status) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Expire drops entries older than cutoff (with the same
+// exception-retention rule as Log.Expire) from memory, the index, and
+// the checkpoint log, then compacts: log.jsonl is rewritten without
+// the expired entries and the WAL truncated behind a fresh checkpoint.
+func (d *Durable) Expire(cutoff, exceptionCutoff time.Time) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Index-driven scan for the checkpointed victims' keys.
+	var victims [][]byte
+	keep := func(t time.Time, st Status) bool {
+		if !t.Before(cutoff) {
+			return true
+		}
+		return st == Exception && !exceptionCutoff.IsZero() && !t.Before(exceptionCutoff)
+	}
+	err := d.store.Scan(nil, indexTimeBound(cutoff), func(k, v []byte) bool {
+		if t, st := indexKeyTime(k); !keep(t, st) {
+			victims = append(victims, append([]byte(nil), k...))
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range victims {
+		if _, err := d.store.Delete(k); err != nil {
+			return 0, err
+		}
+	}
+	dropped := d.log.Expire(cutoff, exceptionCutoff)
+	if err := d.compactLocked(); err != nil {
+		return dropped, err
+	}
+	return dropped, nil
+}
+
+// compactLocked rewrites log.jsonl from the surviving in-memory
+// entries, indexes the surviving tail, and checkpoints — the full
+// compaction behind Expire.
+func (d *Durable) compactLocked() error {
+	lsnCut := d.wal.LastLSN()
+	cur := d.log.seq.Load()
+	d.log.settle()
+	all := d.log.collectRange(0, cur)
+
+	var buf []byte
+	var err error
+	for i := range all {
+		if buf, err = appendJSONLine(buf, &all[i].e); err != nil {
+			return err
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := d.jf.WriteAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	if err := d.jf.Truncate(int64(len(buf))); err != nil {
+		return err
+	}
+	if !d.noSync {
+		if err := d.jf.Sync(); err != nil {
+			return err
+		}
+	}
+	// Index the surviving tail (the checkpointed part is already
+	// indexed; Expire deleted its victims above).
+	var val []byte
+	for i := range all {
+		se := &all[i]
+		if se.seq <= d.ckptSeq {
+			continue
+		}
+		val = appendStamped(val[:0], se.seq, &se.e)
+		if err := d.store.Put(indexKey(se.e.Time, se.e.Status, se.seq), val); err != nil {
+			return err
+		}
+	}
+	newDropped := d.dropped // expiry is not a drop; gaps already counted
+	if err := d.store.Checkpoint(encodeApp(cur, int64(len(buf)), uint64(len(all)), newDropped, d.log.epoch.Load())); err != nil {
+		return err
+	}
+	if err := d.wal.TruncateBefore(lsnCut + 1); err != nil {
+		return err
+	}
+	d.ckptSeq = cur
+	d.jsize = int64(len(buf))
+	d.count = uint64(len(all))
+	return nil
+}
+
+// Close drains the sink (a final WAL group commit makes every
+// acknowledged append durable), then releases the WAL, the index
+// store, and the checkpoint log. It does not checkpoint; reopening
+// replays the WAL tail.
+func (d *Durable) Close() error {
+	d.log.CloseSink()
+	err := d.wal.Close()
+	if e := d.store.Close(); err == nil {
+		err = e
+	}
+	if e := d.jf.Close(); err == nil {
+		err = e
+	}
+	return err
+}

@@ -1,0 +1,672 @@
+package audit
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// genEntries builds a deterministic workload with clustered
+// timestamps (so same-instant ordering is exercised), mixed statuses,
+// and occasional reasons.
+func genDurableEntries(n int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+	out := make([]Entry, n)
+	for i := range out {
+		e := Entry{
+			// Integer division clusters several entries per instant.
+			Time:       base.Add(time.Duration(rng.Intn(n/4+1)) * time.Second),
+			Op:         Op(rng.Intn(2)),
+			User:       fmt.Sprintf("user-%d", rng.Intn(7)),
+			Data:       fmt.Sprintf("data-%d", rng.Intn(5)),
+			Purpose:    fmt.Sprintf("purpose-%d", rng.Intn(3)),
+			Authorized: fmt.Sprintf("role-%d", rng.Intn(4)),
+			Status:     Status(rng.Intn(2)),
+		}
+		if e.Status == Exception && rng.Intn(2) == 0 {
+			e.Reason = fmt.Sprintf("emergency-%d", i)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func jsonlBytes(t *testing.T, entries []Entry) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, entries); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func sameStats(a, b Stats) bool {
+	return a.Total == b.Total && a.Allowed == b.Allowed && a.Denied == b.Denied &&
+		a.Exceptions == b.Exceptions && a.Regular == b.Regular && a.Users == b.Users &&
+		a.First.Equal(b.First) && a.Last.Equal(b.Last)
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	entries := genDurableEntries(300, 1)
+
+	d, rs, err := OpenDurable("site-a", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.CheckpointEntries != 0 || rs.WALEntries != 0 {
+		t.Fatalf("fresh open recovered something: %+v", rs)
+	}
+	if err := d.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	want := d.Log().Snapshot()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, rs2, err := OpenDurable("site-a", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rs2.WALEntries != len(entries) || rs2.CheckpointEntries != 0 {
+		t.Fatalf("recovery stats %+v, want %d WAL entries", rs2, len(entries))
+	}
+	if rs2.IndexGroups == 0 || rs2.Elapsed <= 0 {
+		t.Fatalf("recovery stats missing index/elapsed: %+v", rs2)
+	}
+	got := d2.Log().Snapshot()
+	if !bytes.Equal(jsonlBytes(t, got), jsonlBytes(t, want)) {
+		t.Fatal("recovered snapshot is not byte-identical")
+	}
+	if !sameStats(d2.Log().Summary(), Summarize(want)) {
+		t.Fatal("recovered incremental stats diverge from rescan")
+	}
+	// Recovery concluded with a checkpoint; a third open must load
+	// everything from the checkpoint log and nothing from the WAL.
+	d2.Close()
+	d3, rs3, err := OpenDurable("site-a", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if rs3.CheckpointEntries != len(entries) || rs3.WALEntries != 0 {
+		t.Fatalf("post-checkpoint recovery stats %+v", rs3)
+	}
+	if !bytes.Equal(jsonlBytes(t, d3.Log().Snapshot()), jsonlBytes(t, want)) {
+		t.Fatal("checkpointed snapshot is not byte-identical")
+	}
+}
+
+func TestDurableCheckpointCut(t *testing.T) {
+	dir := t.TempDir()
+	entries := genDurableEntries(150, 2)
+	d, _, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(entries[:100]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CheckpointSeq(); got != 100 {
+		t.Fatalf("checkpoint seq = %d, want 100", got)
+	}
+	if err := d.Append(entries[100:]...); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	want := d.Log().Snapshot()
+	d.Close()
+
+	d2, rs, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rs.CheckpointEntries != 100 || rs.WALEntries != 50 {
+		t.Fatalf("recovery split %d/%d, want 100/50", rs.CheckpointEntries, rs.WALEntries)
+	}
+	if !bytes.Equal(jsonlBytes(t, d2.Log().Snapshot()), jsonlBytes(t, want)) {
+		t.Fatal("recovered snapshot diverges")
+	}
+	// The checkpoint log on disk must be byte-identical to WriteJSONL
+	// over the full append order (recovery re-checkpointed the tail).
+	raw, err := os.ReadFile(filepath.Join(dir, "log.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, jsonlBytes(t, want)) {
+		t.Fatal("log.jsonl diverges from WriteJSONL of the append order")
+	}
+}
+
+// TestDurableSnapshotByTimeDifferential pins the index-served
+// chronological reads to the in-memory oracle, across checkpoint
+// boundaries (part index, part tail) and a crash/recovery cycle.
+func TestDurableSnapshotByTimeDifferential(t *testing.T) {
+	dir := t.TempDir()
+	entries := genDurableEntries(400, 3)
+	d, _, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(entries[:250]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(entries[250:]...); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(d *Durable) {
+		t.Helper()
+		oracle := d.Log().SnapshotByTime()
+		got := d.SnapshotByTime()
+		if !bytes.Equal(jsonlBytes(t, got), jsonlBytes(t, oracle)) {
+			t.Fatal("index-served SnapshotByTime diverges from in-memory oracle")
+		}
+		// Range reads against the filtered oracle.
+		base := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+		for _, w := range [][2]time.Time{
+			{base.Add(10 * time.Second), base.Add(60 * time.Second)},
+			{time.Time{}, base.Add(30 * time.Second)},
+			{base.Add(50 * time.Second), time.Time{}},
+			{base.Add(30 * time.Second), base.Add(30 * time.Second)}, // empty
+		} {
+			from, to := w[0], w[1]
+			var want []Entry
+			for _, e := range oracle {
+				if (from.IsZero() || !e.Time.Before(from)) && (to.IsZero() || e.Time.Before(to)) {
+					want = append(want, e)
+				}
+			}
+			got, err := d.SnapshotRange(from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(jsonlBytes(t, got), jsonlBytes(t, want)) {
+				t.Fatalf("SnapshotRange(%v, %v) diverges (%d vs %d entries)", from, to, len(got), len(want))
+			}
+		}
+	}
+	check(d)
+	d.Sync()
+	d.Close()
+	d2, _, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	check(d2)
+}
+
+func TestDurableExpireDifferential(t *testing.T) {
+	dir := t.TempDir()
+	entries := genDurableEntries(300, 4)
+	d, _, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(entries[:200]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(entries[200:]...); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+	cutoff := base.Add(40 * time.Second)
+	exc := base.Add(20 * time.Second)
+
+	// The index-driven scan must agree with what the in-memory expiry
+	// actually drops.
+	scan, err := d.ExpireScan(cutoff, exc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := d.Expire(cutoff, exc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan != dropped {
+		t.Fatalf("index expiry scan predicts %d, in-memory expiry dropped %d", scan, dropped)
+	}
+	if dropped == 0 {
+		t.Fatal("workload produced nothing to expire")
+	}
+	want := d.Log().Snapshot()
+	for _, e := range want {
+		if e.Time.Before(cutoff) && !(e.Status == Exception && !e.Time.Before(exc)) {
+			t.Fatalf("unexpired entry at %v survived", e.Time)
+		}
+	}
+	check := func(d *Durable) {
+		t.Helper()
+		if !bytes.Equal(jsonlBytes(t, d.SnapshotByTime()), jsonlBytes(t, d.Log().SnapshotByTime())) {
+			t.Fatal("post-expiry index view diverges from memory")
+		}
+	}
+	check(d)
+	d.Close()
+
+	d2, rs, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rs.CheckpointEntries != len(want) || rs.WALEntries != 0 {
+		t.Fatalf("post-expiry recovery %+v, want %d checkpointed", rs, len(want))
+	}
+	if !bytes.Equal(jsonlBytes(t, d2.Log().Snapshot()), jsonlBytes(t, want)) {
+		t.Fatal("expired entries resurrected by recovery")
+	}
+	check(d2)
+}
+
+// TestDurableBootstrapFromSinkFile adopts a plain JSONL sink file —
+// including a torn final line, the wreckage the old sink path could
+// leave — as the initial durable state.
+func TestDurableBootstrapFromSinkFile(t *testing.T) {
+	dir := t.TempDir()
+	entries := genDurableEntries(120, 5)
+	for i := range entries {
+		entries[i].Site = "legacy"
+	}
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, entries); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	torn := raw[:len(raw)-17] // cut into the final line
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "log.jsonl"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, rs, err := OpenDurable("legacy", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.TruncatedLine {
+		t.Fatalf("torn final line not reported: %+v", rs)
+	}
+	if rs.CheckpointEntries != len(entries)-1 {
+		t.Fatalf("bootstrapped %d entries, want %d", rs.CheckpointEntries, len(entries)-1)
+	}
+	if err := d.Append(genDurableEntries(10, 6)...); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Log().Snapshot()
+	d.Close()
+
+	d2, _, err := OpenDurable("legacy", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !bytes.Equal(jsonlBytes(t, d2.Log().Snapshot()), jsonlBytes(t, want)) {
+		t.Fatal("bootstrap + append did not round-trip")
+	}
+}
+
+func TestReadJSONLTolerant(t *testing.T) {
+	entries := genDurableEntries(5, 7)
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, entries); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+
+	got, truncated, err := ReadJSONLTolerant(bytes.NewReader(raw))
+	if err != nil || truncated || len(got) != 5 {
+		t.Fatalf("clean file: n=%d truncated=%v err=%v", len(got), truncated, err)
+	}
+	got, truncated, err = ReadJSONLTolerant(bytes.NewReader(raw[:len(raw)-9]))
+	if err != nil || !truncated || len(got) != 4 {
+		t.Fatalf("torn tail: n=%d truncated=%v err=%v", len(got), truncated, err)
+	}
+	// Trailing newline missing but the line complete: not truncated.
+	got, truncated, err = ReadJSONLTolerant(bytes.NewReader(raw[:len(raw)-1]))
+	if err != nil || truncated || len(got) != 5 {
+		t.Fatalf("missing newline: n=%d truncated=%v err=%v", len(got), truncated, err)
+	}
+	// Mid-file corruption is an error, not tolerance.
+	bad := append([]byte("{garbage}\n"), raw...)
+	if _, _, err := ReadJSONLTolerant(bytes.NewReader(bad)); err == nil {
+		t.Fatal("mid-file corruption read without error")
+	}
+}
+
+// TestDurableDroppedCounter drives the DropOnFull policy hard enough
+// to drop entries and checks the counter survives checkpoint and
+// recovery as sequence gaps.
+func TestDurableDroppedCounter(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDurable("s", dir, DurableOptions{
+		Sink: SinkOptions{Queue: 8, DropOnFull: true},
+		// A long commit interval keeps the WAL flusher lazy so the tiny
+		// queue actually overflows.
+		CommitInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := genDurableEntries(4000, 8)
+	for i := range entries {
+		if err := d.Append(entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Sync()
+	if d.Dropped() == 0 {
+		t.Skip("queue never overflowed on this machine")
+	}
+	memLen := d.Log().Len()
+	if memLen != len(entries) {
+		t.Fatalf("in-memory append must never drop: %d/%d", memLen, len(entries))
+	}
+	d.Close()
+
+	d2, rs, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rs.Dropped == 0 {
+		t.Fatalf("recovery did not surface the dropped count: %+v", rs)
+	}
+	if got := rs.CheckpointEntries + rs.WALEntries; uint64(got)+rs.Dropped != uint64(len(entries)) {
+		t.Fatalf("recovered %d + dropped %d != appended %d", got, rs.Dropped, len(entries))
+	}
+	if d2.Dropped() != rs.Dropped {
+		t.Fatalf("Dropped() = %d, stats say %d", d2.Dropped(), rs.Dropped)
+	}
+}
+
+// TestDurableDeltaResyncAfterRecovery: a Delta cursor taken before a
+// crash must be detected as stale after recovery replays a WAL tail,
+// so incremental mining state is rebuilt instead of silently skipping
+// recovered entries. After a clean, fully-checkpointed restart the
+// cursor stays valid and Delta continues exactly where it left off.
+func TestDurableDeltaResyncAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	entries := genDurableEntries(90, 9)
+	d, _, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(entries[:60]...); err != nil {
+		t.Fatal(err)
+	}
+	_, cur, _ := d.Log().Delta(Cursor{})
+	if err := d.Append(entries[60:]...); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	d.Close() // un-checkpointed tail -> recovery will replay the WAL
+
+	d2, rs, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.WALEntries == 0 {
+		t.Fatalf("expected WAL replay: %+v", rs)
+	}
+	delta, cur2, resync := d2.Log().Delta(cur)
+	if !resync {
+		t.Fatal("stale cursor not detected after tail recovery")
+	}
+	if len(delta) != len(entries) {
+		t.Fatalf("resync delta has %d entries, want %d", len(delta), len(entries))
+	}
+	d2.Close() // clean: recovery checkpointed everything already
+
+	d3, rs3, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if rs3.WALEntries != 0 {
+		t.Fatalf("clean restart replayed a tail: %+v", rs3)
+	}
+	delta, _, resync = d3.Log().Delta(cur2)
+	if resync || len(delta) != 0 {
+		t.Fatalf("cursor invalidated across clean restart: resync=%v delta=%d", resync, len(delta))
+	}
+}
+
+func TestDurableFederation(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	ea, eb := genDurableEntries(80, 10), genDurableEntries(80, 11)
+	da, _, err := OpenDurable("site-a", dirA, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer da.Close()
+	db, _, err := OpenDurable("site-b", dirB, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := da.Append(ea...); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(eb...); err != nil {
+		t.Fatal(err)
+	}
+
+	f := &Federation{}
+	f.AddTimeSource(da)
+	f.AddTimeSource(db)
+	got := f.Consolidate()
+
+	oracle := NewFederation(da.Log(), db.Log()).Consolidate()
+	if !bytes.Equal(jsonlBytes(t, got.Entries), jsonlBytes(t, oracle.Entries)) {
+		t.Fatal("durable-sourced consolidation diverges from in-memory")
+	}
+	if got.Duplicates != oracle.Duplicates || len(got.Conflicts) != len(oracle.Conflicts) {
+		t.Fatalf("dedup/conflict divergence: %d/%d vs %d/%d",
+			got.Duplicates, len(got.Conflicts), oracle.Duplicates, len(oracle.Conflicts))
+	}
+}
+
+// TestDurableCrashInjectionDifferential is the torn-write differential
+// suite: the whole store (index pages, WAL segments, checkpoint log)
+// shares one byte budget and dies mid-write at a randomized offset.
+// Recovery must always produce a clean prefix of the oracle's append
+// order — byte-identical JSONL, matching refinement-index stats, and
+// an index view equal to the in-memory one — and must include every
+// entry acknowledged by a successful Sync.
+func TestDurableCrashInjectionDifferential(t *testing.T) {
+	entries := genDurableEntries(260, 12)
+	// Append stamps the site; stamp the oracle copy up front so the
+	// prefix comparison is over identical bytes.
+	for i := range entries {
+		entries[i].Site = "s"
+	}
+	for trial := 0; trial < 22; trial++ {
+		budget := int64(600 + trial*731)
+		dir := t.TempDir()
+		fb := storage.NewFailBudget(budget)
+		open := func(p string) (storage.File, error) {
+			inner, err := storage.OpenOSFile(p)
+			if err != nil {
+				return nil, err
+			}
+			return storage.NewFailFileShared(inner, fb), nil
+		}
+		d, _, err := OpenDurable("s", dir, DurableOptions{
+			OpenFile:       open,
+			CommitInterval: -1, // flush every append: the budget dies mid-stream
+		})
+		if err != nil {
+			continue // crashed during creation: nothing recoverable yet
+		}
+		synced := 0
+		for i := range entries {
+			if err := d.Append(entries[i]); err != nil {
+				break
+			}
+			d.Sync()
+			if d.wal.DurableLSN() >= uint64(i+1) {
+				synced = i + 1
+			}
+			if i%90 == 89 {
+				if err := d.Checkpoint(); err != nil {
+					break
+				}
+			}
+			if fb.Failed() {
+				break
+			}
+		}
+		appended := d.Log().Len()
+		d.Close()
+
+		d2, rs, err := OpenDurable("s", dir, DurableOptions{})
+		if err != nil {
+			t.Fatalf("trial %d (budget %d): recovery failed: %v", trial, budget, err)
+		}
+		got := d2.Log().Snapshot()
+		k := len(got)
+		if k > appended {
+			t.Fatalf("trial %d: recovered %d > appended %d", trial, k, appended)
+		}
+		if k < synced {
+			t.Fatalf("trial %d (budget %d): recovered %d but %d were acknowledged durable",
+				trial, budget, k, synced)
+		}
+		if !bytes.Equal(jsonlBytes(t, got), jsonlBytes(t, entries[:k])) {
+			t.Fatalf("trial %d (budget %d): recovered state is not a clean prefix (k=%d)",
+				trial, budget, k)
+		}
+		oracle := NewLog("s")
+		if err := oracle.Append(entries[:k]...); err != nil {
+			t.Fatal(err)
+		}
+		if !sameStats(d2.Log().Summary(), oracle.Summary()) {
+			t.Fatalf("trial %d: recovered refinement stats diverge", trial)
+		}
+		if !bytes.Equal(jsonlBytes(t, d2.SnapshotByTime()), jsonlBytes(t, oracle.SnapshotByTime())) {
+			t.Fatalf("trial %d: recovered index view diverges from oracle", trial)
+		}
+		_ = rs
+		// Life goes on after recovery: append, close, reopen.
+		if err := d2.Append(entries[:5]...); err != nil {
+			t.Fatalf("trial %d: post-recovery append: %v", trial, err)
+		}
+		d2.Sync()
+		d2.Close()
+		d3, _, err := OpenDurable("s", dir, DurableOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: second recovery: %v", trial, err)
+		}
+		if d3.Log().Len() != k+5 {
+			t.Fatalf("trial %d: post-recovery appends lost: %d != %d", trial, d3.Log().Len(), k+5)
+		}
+		d3.Close()
+	}
+}
+
+// TestDurableConcurrentCheckpoint hammers appends, checkpoints, and
+// index reads concurrently; run under -race it checks the checkpoint
+// fence (Log.addMu) and the store's reader/checkpoint serialization.
+// Afterwards everything appended must be present exactly once.
+func TestDurableConcurrentCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDurable("s", dir, DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			es := genDurableEntries(perWriter, int64(100+w))
+			for i := range es {
+				if err := d.Append(es[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var ckpt sync.WaitGroup
+	ckpt.Add(2)
+	go func() {
+		defer ckpt.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := d.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer ckpt.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.SnapshotByTime()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	ckpt.Wait()
+	d.Sync()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Log().Len(); got != writers*perWriter {
+		t.Fatalf("len = %d, want %d", got, writers*perWriter)
+	}
+	mem := d.Log().SnapshotByTime()
+	idx := d.SnapshotByTime()
+	if !bytes.Equal(jsonlBytes(t, idx), jsonlBytes(t, mem)) {
+		t.Fatal("index view diverges after concurrent checkpoints")
+	}
+	d.Close()
+
+	d2, rs, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rs.CheckpointEntries != writers*perWriter || rs.WALEntries != 0 || rs.Dropped != 0 {
+		t.Fatalf("recovery after concurrent run: %+v", rs)
+	}
+}

@@ -16,16 +16,32 @@ import (
 // share an identity instant but disagree on the recorded outcome,
 // which indicates clock or logging faults at a site.
 type Federation struct {
-	sources []*Log
+	sources []TimeSource
+}
+
+// TimeSource is a consolidation input: anything that can produce its
+// entries in chronological order (same-instant entries in append
+// order). *Log serves it from memory; *Durable serves it from the
+// persistent (time, status, seq) index plus the un-checkpointed tail.
+type TimeSource interface {
+	SnapshotByTime() []Entry
 }
 
 // NewFederation builds a federation over the given source logs.
 func NewFederation(sources ...*Log) *Federation {
-	return &Federation{sources: append([]*Log(nil), sources...)}
+	f := &Federation{}
+	for _, l := range sources {
+		f.AddSource(l)
+	}
+	return f
 }
 
 // AddSource registers an additional source log.
 func (f *Federation) AddSource(l *Log) { f.sources = append(f.sources, l) }
+
+// AddTimeSource registers any TimeSource (e.g. a durable store) as a
+// consolidation input.
+func (f *Federation) AddTimeSource(src TimeSource) { f.sources = append(f.sources, src) }
 
 // Sources returns the number of federated logs.
 func (f *Federation) Sources() int { return len(f.sources) }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -379,8 +380,10 @@ func TestSinkConcurrentAppendOrdered(t *testing.T) {
 func TestSinkBackpressureDrop(t *testing.T) {
 	release := make(chan struct{})
 	var once sync.Once
+	var written atomic.Int64
 	stall := writerFunc(func(p []byte) (int, error) {
 		<-release
+		written.Add(int64(bytes.Count(p, []byte("\n"))))
 		return len(p), nil
 	})
 	errs := make(chan error, 64)
@@ -408,8 +411,14 @@ func TestSinkBackpressureDrop(t *testing.T) {
 	default:
 		t.Fatal("expected ErrSinkOverflow on the error callback")
 	}
+	dropped := l.SinkDropped()
 	once.Do(func() { close(release) })
 	l.CloseSink()
+	// Conservation: every appended entry was either written by the
+	// sink or counted as dropped — none vanish silently.
+	if got := written.Load() + int64(dropped); got != 32 {
+		t.Fatalf("written %d + dropped %d != appended 32", written.Load(), dropped)
+	}
 }
 
 // TestSetSinkReplacesAndDrains: swapping sinks flushes the old one.

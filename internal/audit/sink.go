@@ -44,6 +44,20 @@ type SinkOptions struct {
 	DropOnFull bool
 }
 
+// stampedWriter receives the flusher's batches as (seq, entry) pairs
+// instead of encoded JSON lines. The durable store plugs its WAL feed
+// in here, so every entry's sequence number travels with it into the
+// recovery log. writeStamped is called from the single flusher
+// goroutine with batches in sequence order; syncStamped is the
+// durability barrier behind Flush/CloseSink.
+type stampedWriter interface {
+	// dropHigh is the highest sequence number assigned to an entry the
+	// sink dropped under DropOnFull (0 if none): the writer persists it
+	// so recovery can count gaps past the last surviving record.
+	writeStamped(batch []stamped, dropHigh uint64) error
+	syncStamped() error
+}
+
 // sink is the running flusher state. Appenders coalesce entries into
 // the pending buffer under the mutex — sequence assignment and
 // enqueue are one critical section (the flush-ordering invariant) —
@@ -52,19 +66,21 @@ type SinkOptions struct {
 type sink struct {
 	mu       sync.Mutex
 	closed   bool
-	pending  []Entry         // enqueued entries, in sequence order
+	pending  []stamped       // enqueued entries, in sequence order
 	barriers []chan struct{} // flush waiters, closed after the next drain
 	full     sync.Cond       // blocking-backpressure waiters (on mu)
 
 	wake     chan struct{} // cap 1: coalesced flusher wakeup
 	done     chan struct{}
 	w        io.Writer
+	bw       stampedWriter // when set, batches bypass JSON encoding
 	onErr    func(error)
 	batch    int
 	queue    int
 	interval time.Duration
 	drop     bool
 	dropped  atomic.Uint64
+	dropHigh uint64 // highest dropped seq (under mu); see stampedWriter
 }
 
 func newSink(w io.Writer, onErr func(error), opts SinkOptions) *sink {
@@ -108,8 +124,10 @@ func (s *sink) send(l *Log, e Entry) uint64 {
 	s.mu.Lock()
 	if s.drop && !s.closed && len(s.pending) >= s.queue {
 		seq := l.seq.Add(1)
+		s.dropHigh = seq
 		s.mu.Unlock()
 		s.dropped.Add(1)
+		s.wakeFlusher() // the drop high-water must reach the writer too
 		if s.onErr != nil {
 			s.onErr(ErrSinkOverflow)
 		}
@@ -120,7 +138,7 @@ func (s *sink) send(l *Log, e Entry) uint64 {
 	}
 	seq := l.seq.Add(1)
 	if !s.closed {
-		s.pending = append(s.pending, e)
+		s.pending = append(s.pending, stamped{seq: seq, e: e})
 	}
 	s.mu.Unlock()
 	s.wakeFlusher()
@@ -201,6 +219,12 @@ func (s *sink) run() {
 	buf := make([]byte, 0, 4096)
 	n := 0
 	flush := func() {
+		if s.bw != nil {
+			if err := s.bw.syncStamped(); err != nil && s.onErr != nil {
+				s.onErr(err)
+			}
+			return
+		}
 		if len(buf) == 0 {
 			n = 0
 			return
@@ -211,7 +235,7 @@ func (s *sink) run() {
 		buf = buf[:0]
 		n = 0
 	}
-	var batch []Entry
+	var batch []stamped
 	for {
 		var tick bool
 		select {
@@ -224,17 +248,26 @@ func (s *sink) run() {
 		barriers := s.barriers
 		s.barriers = nil
 		closed := s.closed
+		dropHigh := s.dropHigh
 		if len(batch) > 0 && !s.drop {
 			s.full.Broadcast()
 		}
 		s.mu.Unlock()
-		for i := range batch {
-			var err error
-			if buf, err = appendJSONLine(buf, &batch[i]); err != nil && s.onErr != nil {
-				s.onErr(err)
+		if s.bw != nil {
+			if len(batch) > 0 || dropHigh > 0 {
+				if err := s.bw.writeStamped(batch, dropHigh); err != nil && s.onErr != nil {
+					s.onErr(err)
+				}
 			}
-			if n++; n >= s.batch {
-				flush()
+		} else {
+			for i := range batch {
+				var err error
+				if buf, err = appendJSONLine(buf, &batch[i].e); err != nil && s.onErr != nil {
+					s.onErr(err)
+				}
+				if n++; n >= s.batch {
+					flush()
+				}
 			}
 		}
 		if tick || len(barriers) > 0 || closed {
@@ -300,6 +333,18 @@ func (l *Log) SetSinkOptions(w io.Writer, onErr func(error), opts SinkOptions) {
 		ns = newSink(w, onErr, opts)
 		go ns.run()
 	}
+	if old := l.sink.Swap(ns); old != nil {
+		old.close()
+	}
+}
+
+// setBatchSink attaches a stampedWriter-backed sink (the durable
+// store's WAL feed) with the same lifecycle and backpressure rules as
+// SetSinkOptions.
+func (l *Log) setBatchSink(bw stampedWriter, onErr func(error), opts SinkOptions) {
+	ns := newSink(nil, onErr, opts)
+	ns.bw = bw
+	go ns.run()
 	if old := l.sink.Swap(ns); old != nil {
 		old.close()
 	}

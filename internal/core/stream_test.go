@@ -230,3 +230,66 @@ func TestStreamSessionRejectSticky(t *testing.T) {
 		t.Fatalf("rejected pattern resurfaced: %+v", r2)
 	}
 }
+
+// TestStreamSessionResyncAfterRecovery: a streaming mining session
+// whose log dies and is rebuilt by durable recovery must detect the
+// stale delta cursor (the recovered log carries a new epoch), resync,
+// and keep producing results identical to the sequential oracle.
+func TestStreamSessionResyncAfterRecovery(t *testing.T) {
+	v := scenario.Vocabulary()
+	psStream := scenario.PolicyStore()
+	psSeq := scenario.PolicyStore()
+	opts := Options{Extractor: NativeExtractor{}}
+
+	dir := t.TempDir()
+	d, _, err := audit.OpenDurable("s", dir, audit.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := scenario.Table1()
+	if err := d.Append(table[:5]...); err != nil {
+		t.Fatal(err)
+	}
+	stream := NewStreamSession(d.Log(), psStream, v, opts)
+	seq := NewSession(psSeq, v, opts)
+	if _, err := stream.Run(AdoptAll); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.Run(d.Log().Snapshot(), AdoptAll); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	d.Close() // un-checkpointed WAL tail: reopen replays and bumps epoch
+
+	d2, rs, err := audit.OpenDurable("s", dir, audit.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rs.WALEntries != 5 {
+		t.Fatalf("recovery stats %+v, want 5 WAL entries", rs)
+	}
+	if err := d2.Append(table[5:]...); err != nil {
+		t.Fatal(err)
+	}
+	stream.Log = d2.Log() // re-attach the session to the recovered log
+
+	streamRound, err := stream.Run(AdoptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRound, err := seq.Run(d2.Log().Snapshot(), AdoptAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(patternSig(t, streamRound.Patterns), patternSig(t, seqRound.Patterns)) {
+		t.Fatalf("post-recovery patterns: stream %v, seq %v",
+			patternSig(t, streamRound.Patterns), patternSig(t, seqRound.Patterns))
+	}
+	if streamRound.CoverageAfter != seqRound.CoverageAfter {
+		t.Fatalf("post-recovery coverage: %v vs %v", streamRound.CoverageAfter, seqRound.CoverageAfter)
+	}
+	if psStream.Len() != psSeq.Len() {
+		t.Fatalf("policy sizes diverge: %d vs %d", psStream.Len(), psSeq.Len())
+	}
+}

@@ -168,11 +168,12 @@ type InsertStmt struct {
 	Rows  [][]Expr
 }
 
-// CreateTableStmt is CREATE TABLE t (col TYPE, ...).
+// CreateTableStmt is CREATE TABLE t (col TYPE, ...) [STORAGE backend].
 type CreateTableStmt struct {
 	Table       string
 	IfNotExists bool
 	Cols        []Column
+	Storage     string // "", "memory", or "file"
 }
 
 // DropTableStmt is DROP TABLE [IF EXISTS] t.

@@ -53,7 +53,7 @@ func (db *Database) MustExec(sql string) *Result {
 }
 
 func (db *Database) execCreate(s *CreateTableStmt) (*Result, error) {
-	_, err := db.CreateTable(s.Table, s.Cols)
+	_, err := db.CreateTableStorage(s.Table, s.Cols, s.Storage)
 	if err != nil {
 		if s.IfNotExists && strings.Contains(err.Error(), "already exists") {
 			return &Result{}, nil
@@ -137,8 +137,9 @@ func (db *Database) execDelete(s *DeleteStmt) (*Result, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	kept := t.rows[:0:0]
-	deleted := 0
-	for _, row := range t.rows {
+	keptIDs := t.ids[:0:0]
+	var victims []uint64
+	for ri, row := range t.rows {
 		match := true
 		if s.Where != nil {
 			v, err := eval(s.Where, &rowEnv{table: t, row: row})
@@ -149,14 +150,23 @@ func (db *Database) execDelete(s *DeleteStmt) (*Result, error) {
 			match = ok && b
 		}
 		if match {
-			deleted++
+			victims = append(victims, t.ids[ri])
 		} else {
 			kept = append(kept, row)
+			keptIDs = append(keptIDs, t.ids[ri])
+		}
+	}
+	if t.store != nil && len(victims) > 0 {
+		// Write-ahead: the durable mirror drops the rows before memory
+		// does, so a storage error rejects the statement whole.
+		if err := t.store.deleteRows(victims); err != nil {
+			return nil, err
 		}
 	}
 	t.rows = kept
+	t.ids = keptIDs
 	t.version++
-	return &Result{Affected: deleted}, nil
+	return &Result{Affected: len(victims)}, nil
 }
 
 func (db *Database) execUpdate(s *UpdateStmt) (*Result, error) {
@@ -204,6 +214,11 @@ func (db *Database) execUpdate(s *UpdateStmt) (*Result, error) {
 				return nil, err
 			}
 			next[idxs[i]] = cv
+		}
+		if t.store != nil {
+			if err := t.store.update(t.ids[ri], next); err != nil {
+				return nil, err
+			}
 		}
 		t.rows[ri] = next
 		updated++

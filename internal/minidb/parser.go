@@ -413,6 +413,13 @@ func (p *parser) parseCreate() (Stmt, error) {
 	if err := p.expectPunct(")"); err != nil {
 		return nil, err
 	}
+	if p.acceptKeyword("STORAGE") {
+		backend, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Storage = strings.ToLower(backend)
+	}
 	return st, nil
 }
 

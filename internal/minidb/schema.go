@@ -2,6 +2,7 @@ package minidb
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -15,13 +16,19 @@ type Column struct {
 }
 
 // Table is an in-memory heap of typed rows guarded by a RWMutex.
+// With a store attached (STORAGE file), every mutation is mirrored
+// write-ahead into the durable backend; reads are always served from
+// memory.
 type Table struct {
 	mu      sync.RWMutex
 	name    string
 	cols    []Column
 	idx     map[string]int // lower(name) -> column index
 	rows    [][]Value
-	version uint64 // bumped on every mutation; used by lazy indexes
+	ids     []uint64 // rowids parallel to rows (durable identity)
+	nextID  uint64
+	store   rowStore // nil for plain in-memory tables
+	version uint64   // bumped on every mutation; used by lazy indexes
 	indexes map[string]*hashIndex
 }
 
@@ -29,7 +36,7 @@ func newTable(name string, cols []Column) (*Table, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("minidb: table %q needs at least one column", name)
 	}
-	t := &Table{name: name, cols: cols, idx: make(map[string]int, len(cols))}
+	t := &Table{name: name, cols: cols, nextID: 1, idx: make(map[string]int, len(cols))}
 	for i, c := range cols {
 		key := strings.ToLower(c.Name)
 		if key == "" {
@@ -98,7 +105,18 @@ func (t *Table) insert(row []Value) error {
 		stored[i] = cv
 	}
 	t.mu.Lock()
+	id := t.nextID
+	if t.store != nil {
+		// Write-ahead: the durable mirror sees the row before memory
+		// admits it, so a storage error rejects the statement whole.
+		if err := t.store.insert(id, stored); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+	}
+	t.nextID = id + 1
 	t.rows = append(t.rows, stored)
+	t.ids = append(t.ids, id)
 	t.version++
 	t.mu.Unlock()
 	return nil
@@ -117,8 +135,9 @@ func (t *Table) snapshot() [][]Value {
 
 // Database is a named collection of tables.
 type Database struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	storage *StorageOptions // set by AttachStorage; nil = memory only
 	// schemaGen counts schema mutations (CreateTable/DropTable). The
 	// enforcement plan cache keys compiled statements on it so a
 	// dropped or recreated table invalidates cached plans with one
@@ -149,16 +168,31 @@ func (db *Database) CreateTable(name string, cols []Column) (*Table, error) {
 	return t, nil
 }
 
-// DropTable removes a table.
+// DropTable removes a table. A file-backed table's on-disk artifacts
+// are deleted with it.
 func (db *Database) DropTable(name string) error {
 	key := strings.ToLower(name)
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, exists := db.tables[key]; !exists {
+	t, exists := db.tables[key]
+	if !exists {
+		db.mu.Unlock()
 		return fmt.Errorf("minidb: table %q does not exist", name)
 	}
 	delete(db.tables, key)
 	db.schemaGen.Add(1)
+	db.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.store != nil {
+		err := t.store.close()
+		if fs, ok := t.store.(*fileStore); ok && fs.dir != "" {
+			if rerr := os.RemoveAll(fs.dir); err == nil {
+				err = rerr
+			}
+		}
+		t.store = nil
+		return err
+	}
 	return nil
 }
 

@@ -29,6 +29,12 @@ func ParseRule(s string) (Rule, error) {
 		if strings.ContainsAny(attr, " \t") || strings.ContainsAny(value, " \t") {
 			return Rule{}, fmt.Errorf("policy: term %q: attribute and value must be single tokens", f)
 		}
+		// '#' opens a comment in the policy text form; an attribute
+		// starting with it cannot round-trip (the term may sort to the
+		// start of the line, where the re-parse drops the whole rule).
+		if strings.HasPrefix(attr, "#") {
+			return Rule{}, fmt.Errorf("policy: term %q: attribute may not start with '#'", f)
+		}
 		terms = append(terms, Term{Attr: attr, Value: value})
 	}
 	if len(terms) == 0 {

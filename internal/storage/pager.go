@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The pager owns page 0 — the meta page — and the raw page I/O. The
+// meta page holds two 2 KiB slots written alternately (version parity
+// picks the slot); each slot is CRC-framed, so a torn meta write
+// leaves the other slot valid and recovery falls back to the previous
+// checkpoint. Everything the engine must find again after a restart
+// hangs off the meta record: the B+tree root, the free-list chain
+// head, the allocated page count, and a small application blob
+// (checkpoint sequence numbers, row-id counters).
+
+const (
+	metaMagic    = 0x70726d61 // "prma"
+	metaSlotSize = PageSize / 2
+	// metaAppMax bounds the application blob stored in a meta slot.
+	metaAppMax = 512
+	// idsPerFreelistPage is how many free page ids one chain page holds.
+	idsPerFreelistPage = (PageSize - pageHeaderSize) / 4
+)
+
+// Meta is the durable root record of a store file.
+type Meta struct {
+	Version  uint64 // checkpoint counter; higher wins
+	Pages    uint32 // allocated page count (file size / PageSize)
+	Root     uint32 // B+tree root page id (0 = empty tree)
+	FreeHead uint32 // first freelist chain page (0 = none)
+	App      []byte // application blob (<= metaAppMax)
+}
+
+func encodeMeta(m *Meta) []byte {
+	b := make([]byte, metaSlotSize)
+	binary.LittleEndian.PutUint32(b[0:4], metaMagic)
+	binary.LittleEndian.PutUint64(b[8:16], m.Version)
+	binary.LittleEndian.PutUint32(b[16:20], m.Pages)
+	binary.LittleEndian.PutUint32(b[20:24], m.Root)
+	binary.LittleEndian.PutUint32(b[24:28], m.FreeHead)
+	binary.LittleEndian.PutUint16(b[28:30], uint16(len(m.App)))
+	copy(b[32:], m.App)
+	// CRC over everything but the CRC field itself.
+	binary.LittleEndian.PutUint32(b[4:8], 0)
+	crc := crc32.Checksum(b, crcTable)
+	binary.LittleEndian.PutUint32(b[4:8], crc)
+	return b
+}
+
+func decodeMeta(b []byte) (*Meta, bool) {
+	if len(b) < metaSlotSize || binary.LittleEndian.Uint32(b[0:4]) != metaMagic {
+		return nil, false
+	}
+	stored := binary.LittleEndian.Uint32(b[4:8])
+	tmp := make([]byte, metaSlotSize)
+	copy(tmp, b[:metaSlotSize])
+	binary.LittleEndian.PutUint32(tmp[4:8], 0)
+	if crc32.Checksum(tmp, crcTable) != stored {
+		return nil, false
+	}
+	applen := int(binary.LittleEndian.Uint16(b[28:30]))
+	if applen > metaAppMax {
+		return nil, false
+	}
+	m := &Meta{
+		Version:  binary.LittleEndian.Uint64(b[8:16]),
+		Pages:    binary.LittleEndian.Uint32(b[16:20]),
+		Root:     binary.LittleEndian.Uint32(b[20:24]),
+		FreeHead: binary.LittleEndian.Uint32(b[24:28]),
+		App:      append([]byte(nil), b[32:32+applen]...),
+	}
+	return m, true
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// pager performs raw page I/O and meta management on one File. It has
+// no locking of its own: the Store serializes writers, and reads of
+// distinct offsets through io.ReaderAt are safe concurrently.
+type pager struct {
+	f     File
+	pages uint32 // allocated page count, including page 0
+}
+
+func openPager(f File) (*pager, *Meta, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &pager{f: f}
+	if size < PageSize {
+		// Fresh file: write version-0 meta into both slots so either
+		// read path finds it.
+		m := &Meta{Version: 0, Pages: 1}
+		p.pages = 1
+		if err := p.writeMeta(m, 0); err != nil {
+			return nil, nil, err
+		}
+		if err := p.writeMeta(m, 1); err != nil {
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, nil, err
+		}
+		return p, m, nil
+	}
+	buf := make([]byte, PageSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, nil, err
+	}
+	m0, ok0 := decodeMeta(buf[:metaSlotSize])
+	m1, ok1 := decodeMeta(buf[metaSlotSize:])
+	var m *Meta
+	switch {
+	case ok0 && ok1:
+		m = m0
+		if m1.Version > m0.Version {
+			m = m1
+		}
+	case ok0:
+		m = m0
+	case ok1:
+		m = m1
+	default:
+		return nil, nil, fmt.Errorf("storage: both meta slots corrupt")
+	}
+	// The file may extend past m.Pages when allocations were flushed
+	// but their meta never committed (a torn checkpoint); resetting the
+	// page count from meta makes future allocations reuse that orphan
+	// tail.
+	p.pages = m.Pages
+	return p, m, nil
+}
+
+// writeMeta writes the meta record into slot (0 or 1) without syncing.
+func (p *pager) writeMeta(m *Meta, slot int) error {
+	if len(m.App) > metaAppMax {
+		return fmt.Errorf("storage: meta app blob %d bytes exceeds %d", len(m.App), metaAppMax)
+	}
+	_, err := p.f.WriteAt(encodeMeta(m), int64(slot)*metaSlotSize)
+	return err
+}
+
+func (p *pager) readPage(id uint32, buf []byte) error {
+	if id == 0 || id >= p.pages {
+		return fmt.Errorf("storage: read of page %d out of bounds (pages=%d)", id, p.pages)
+	}
+	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+func (p *pager) writePage(id uint32, buf []byte) error {
+	if id == 0 || id >= p.pages {
+		return fmt.Errorf("storage: write of page %d out of bounds (pages=%d)", id, p.pages)
+	}
+	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// grow appends one page to the file and returns its id.
+func (p *pager) grow() uint32 {
+	id := p.pages
+	p.pages++
+	return id
+}
+
+// readFreelist loads the free-page-id chain starting at head,
+// returning the ids plus the chain pages themselves (which become
+// free the moment a new chain replaces them).
+func (p *pager) readFreelist(head uint32) (ids []uint32, chain []uint32, err error) {
+	buf := make([]byte, PageSize)
+	for head != 0 {
+		if err := p.readPage(head, buf); err != nil {
+			return nil, nil, err
+		}
+		pg := page(buf)
+		if pg.kind() != kindFreelist {
+			return nil, nil, fmt.Errorf("storage: page %d: expected freelist, found kind %d", head, pg.kind())
+		}
+		chain = append(chain, head)
+		n := pg.ncells() // cell count reused as id count
+		for i := 0; i < n; i++ {
+			ids = append(ids, binary.LittleEndian.Uint32(buf[pageHeaderSize+4*i:pageHeaderSize+4*i+4]))
+		}
+		head = pg.aux()
+	}
+	return ids, chain, nil
+}
+
+// writeFreelist persists ids into the given chain pages (len(chain)
+// must be ceil(len(ids)/idsPerFreelistPage)) and returns the head.
+func (p *pager) writeFreelist(ids []uint32, chain []uint32) (uint32, error) {
+	if len(chain) == 0 {
+		return 0, nil
+	}
+	buf := make([]byte, PageSize)
+	for ci, pid := range chain {
+		initPage(buf, kindFreelist)
+		pg := page(buf)
+		lo := ci * idsPerFreelistPage
+		hi := lo + idsPerFreelistPage
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		pg.setNCells(hi - lo)
+		for i, id := range ids[lo:hi] {
+			binary.LittleEndian.PutUint32(buf[pageHeaderSize+4*i:pageHeaderSize+4*i+4], id)
+		}
+		if ci+1 < len(chain) {
+			pg.setAux(chain[ci+1])
+		}
+		if err := p.writePage(pid, buf); err != nil {
+			return 0, err
+		}
+	}
+	return chain[0], nil
+}

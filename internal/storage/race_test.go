@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRaceReadersDuringSplits runs concurrent point reads and range
+// scans against a writer driving the tree through many page splits.
+// Inserts never recycle pages within an epoch, so readers are safe by
+// the copy-on-write argument; the race detector checks the latch
+// discipline at the byte level.
+func TestRaceReadersDuringSplits(t *testing.T) {
+	s, _ := tmpStore(t, Options{PoolPages: 64})
+	// Preload so readers always have something to find.
+	const preload = 2000
+	for i := 0; i < preload; i++ {
+		if err := s.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer: grows the tree through splits
+		defer wg.Done()
+		for i := preload; i < preload+4000; i++ {
+			if err := s.Put(key(i), val(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		stop.Store(true)
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) { // point readers over the stable preload
+			defer wg.Done()
+			i := r
+			for !stop.Load() {
+				k := i % preload
+				v, ok, err := s.Get(key(k))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok && !bytes.Equal(v, val(k)) {
+					t.Errorf("Get(%d) returned wrong value", k)
+					return
+				}
+				i++
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() { // scanner: full-range iteration racing the splits
+		defer wg.Done()
+		for !stop.Load() {
+			var last []byte
+			err := s.Scan(nil, key(preload), func(k, v []byte) bool {
+				if last != nil && bytes.Compare(last, k) >= 0 {
+					t.Errorf("scan order violated: %q then %q", last, k)
+					return false
+				}
+				last = append(last[:0], k...)
+				return true
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRacePoolPinEviction hammers a tiny pool from many goroutines so
+// pin/unpin constantly races eviction and writeback.
+func TestRacePoolPinEviction(t *testing.T) {
+	s, _ := tmpStore(t, Options{PoolPages: poolStripes * 2})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				k := (g*911 + i*31) % n
+				v, ok, err := s.Get(key(k))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok || !bytes.Equal(v, val(k)) {
+					t.Errorf("Get(%d) = %v under eviction", k, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.PoolStats()
+	if st.Evictions == 0 {
+		t.Fatalf("pool never evicted: %+v", st)
+	}
+}
+
+// TestRaceCheckpointDuringReads interleaves checkpoints with a read
+// workload: checkpoints flush under read latches and must not tear
+// pages out from under pinned readers.
+func TestRaceCheckpointDuringReads(t *testing.T) {
+	s, _ := tmpStore(t, Options{PoolPages: 64})
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := 0; e < 20; e++ {
+			for i := 0; i < 200; i++ {
+				if err := s.Put(key(i), []byte(fmt.Sprintf("e%d-%d", e, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := s.Checkpoint([]byte(fmt.Sprintf("epoch-%d", e))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		stop.Store(true)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			i := r
+			for !stop.Load() {
+				// Keys >= 200 are never rewritten: their values must
+				// hold steady through every checkpoint.
+				k := 200 + i%(n-200)
+				v, ok, err := s.Get(key(k))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok || !bytes.Equal(v, val(k)) {
+					t.Errorf("stable key %d changed under checkpoint", k)
+					return
+				}
+				i++
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -1,7 +1,9 @@
 package prima
 
 import (
+	"fmt"
 	"io"
+	"path/filepath"
 	"time"
 
 	"repro/internal/audit"
@@ -41,13 +43,18 @@ type System struct {
 	db       *minidb.Database
 	consent  *consent.Store
 	log      *audit.Log
+	durable  *audit.Durable // non-nil when assembled by Open
 	enforcer *hdb.Enforcer
 	control  *hdb.ControlCenter
 	session  *core.StreamSession
 }
 
-// New assembles a System from the config.
+// New assembles an in-memory System from the config.
 func New(cfg Config) *System {
+	return assemble(cfg, minidb.NewDatabase(), audit.NewLog(cfg.Site), nil)
+}
+
+func assemble(cfg Config, db *minidb.Database, log *audit.Log, durable *audit.Durable) *System {
 	v := cfg.Vocabulary
 	if v == nil {
 		v = vocab.Sample()
@@ -56,9 +63,7 @@ func New(cfg Config) *System {
 	if ps == nil {
 		ps = policy.New("PS")
 	}
-	db := minidb.NewDatabase()
 	cs := consent.NewStore(v, !cfg.ConsentDefaultDeny)
-	log := audit.NewLog(cfg.Site)
 	enf := hdb.New(db, ps, v, cs, log)
 	return &System{
 		vocab:    v,
@@ -66,10 +71,91 @@ func New(cfg Config) *System {
 		db:       db,
 		consent:  cs,
 		log:      log,
+		durable:  durable,
 		enforcer: enf,
 		control:  hdb.NewControlCenter(enf, cs),
 		session:  core.NewStreamSession(log, ps, v, cfg.Refine),
 	}
+}
+
+// SystemOptions places a System's state on disk: the audit log
+// becomes a durable store (group-commit WAL + checkpointed JSONL +
+// B+tree index) and the clinical database gains the file backend for
+// tables created with STORAGE file.
+type SystemOptions struct {
+	// Dir is the root state directory: the audit store lives under
+	// Dir/audit, file-backed clinical tables under Dir/db.
+	Dir string
+	// Audit tunes the durable audit store.
+	Audit audit.DurableOptions
+	// DB tunes the clinical database's file backend; its Dir field is
+	// derived from Dir and may be left empty.
+	DB minidb.StorageOptions
+}
+
+// Open assembles a System with durable storage attached, recovering
+// any state a previous process left in o.Dir: audit entries are
+// rebuilt from checkpoint plus WAL tail (refinement index and stream
+// cursors included), and file-backed clinical tables reappear without
+// re-running CREATE TABLE. The returned stats describe the recovery.
+func Open(cfg Config, o SystemOptions) (*System, RecoveryStats, error) {
+	var rs RecoveryStats
+	if o.Dir == "" {
+		return nil, rs, fmt.Errorf("prima: Open needs SystemOptions.Dir")
+	}
+	d, rs, err := audit.OpenDurable(cfg.Site, filepath.Join(o.Dir, "audit"), o.Audit)
+	if err != nil {
+		return nil, rs, err
+	}
+	dbo := o.DB
+	dbo.Dir = filepath.Join(o.Dir, "db")
+	db, err := minidb.OpenDatabase(dbo)
+	if err != nil {
+		d.Close()
+		return nil, rs, err
+	}
+	return assemble(cfg, db, d.Log(), d), rs, nil
+}
+
+// Durable returns the durable audit store, or nil for an in-memory
+// System.
+func (s *System) Durable() *audit.Durable { return s.durable }
+
+// SyncStorage blocks until every audit entry and clinical row so far
+// is durable (group-commit fsync of the WALs). No-op without storage.
+func (s *System) SyncStorage() error {
+	if s.durable != nil {
+		s.durable.Sync()
+	}
+	return s.db.Sync()
+}
+
+// CheckpointStorage folds the WALs into their checkpoints (audit
+// JSONL + index, clinical B+trees) and truncates them, bounding the
+// next recovery's replay work. No-op without storage.
+func (s *System) CheckpointStorage() error {
+	if s.durable != nil {
+		if err := s.durable.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return s.db.Checkpoint()
+}
+
+// Close releases durable storage after a final sync. In-memory state
+// stays queryable; a system opened with Open should not append audit
+// entries or mutate file-backed tables after Close.
+func (s *System) Close() error {
+	var first error
+	if s.durable != nil {
+		if err := s.durable.Close(); err != nil {
+			first = err
+		}
+	}
+	if err := s.db.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Vocabulary returns the system's vocabulary.

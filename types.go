@@ -32,6 +32,10 @@ type (
 	Log = audit.Log
 	// Federation consolidates several site logs (paper §4.2).
 	Federation = audit.Federation
+	// DurableAuditOptions tunes the durable audit store (SystemOptions.Audit).
+	DurableAuditOptions = audit.DurableOptions
+	// RecoveryStats reports what Open rebuilt from disk.
+	RecoveryStats = audit.RecoveryStats
 
 	// Pattern is a refinement candidate (Algorithms 4–6).
 	Pattern = core.Pattern
