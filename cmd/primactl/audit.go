@@ -53,6 +53,9 @@ func cmdAuditRecover(args []string) error {
 	if rs.TruncatedLine {
 		fmt.Println("  torn JSONL line:    dropped (bootstrap from sink file)")
 	}
+	if rs.CompactionResumed {
+		fmt.Println("  compaction:         finished (crash interrupted a retention rewrite)")
+	}
 	if rs.Dropped > 0 {
 		fmt.Printf("  dropped entries:    %d (sink backpressure before shutdown)\n", rs.Dropped)
 	}

@@ -34,12 +34,13 @@ import (
 // folds the accumulators as it goes — and concludes with a checkpoint
 // that re-persists the tail, so the WAL never grows across restarts.
 type Durable struct {
-	dir   string
-	log   *Log
-	store *storage.Store
-	wal   *storage.WAL
-	jf    storage.File
-	onErr func(error)
+	dir      string
+	log      *Log
+	store    *storage.Store
+	wal      *storage.WAL
+	jf       storage.File
+	openFile storage.OpenFileFunc
+	onErr    func(error)
 
 	noSync bool
 
@@ -48,6 +49,12 @@ type Durable struct {
 	jsize   int64      // durable byte length of log.jsonl
 	count   uint64     // entries in log.jsonl
 	dropped uint64     // DropOnFull drops recorded up to the last checkpoint
+	// seenEpoch is the log epoch the store has accounted for. The log
+	// epoch moves on structural mutation (Expire/Rotate/Reset); only
+	// Durable.Expire keeps the index and drop accounting in step, so a
+	// checkpoint that observes an unexplained epoch move refuses to
+	// persist the divergence.
+	seenEpoch uint64
 }
 
 // DurableOptions tunes OpenDurable. The zero value selects defaults.
@@ -83,6 +90,10 @@ type RecoveryStats struct {
 	// TruncatedLine reports a torn final JSONL line dropped while
 	// bootstrapping from a plain sink file.
 	TruncatedLine bool
+	// CompactionResumed reports that a crash interrupted a retention
+	// compaction after its commit point; recovery finished the copy-
+	// back from the committed shadow file (log.compact.jsonl).
+	CompactionResumed bool
 	// Dropped counts sequence gaps in the recovered stream: entries
 	// the sink dropped under DropOnFull before the shutdown.
 	Dropped uint64
@@ -92,14 +103,23 @@ type RecoveryStats struct {
 	Elapsed time.Duration
 }
 
-// app blob layout ("ADU1" + ckptSeq + jsonlBytes + count + dropped +
-// epoch).
+// app blob layout ("ADU2" + ckptSeq + jsonlBytes + count + dropped +
+// epoch + flags). Version-1 blobs ("ADU1", no flags word) decode with
+// flags = 0.
 const (
-	appMagic = "ADU1"
-	appLen   = 4 + 8*5
+	appMagic   = "ADU2"
+	appMagicV1 = "ADU1"
+	appLenV1   = 4 + 8*5
+	appLen     = 4 + 8*6
 )
 
-func encodeApp(ckptSeq uint64, jsize int64, count, dropped, epoch uint64) []byte {
+// appCompactPending marks a compaction committed but not yet copied
+// back: the blob's (jsize, count, ckptSeq) attest the contents of
+// log.compact.jsonl, while log.jsonl may hold bytes of either
+// generation. Reopen finishes the copy before reading anything.
+const appCompactPending = 1 << 0
+
+func encodeApp(ckptSeq uint64, jsize int64, count, dropped, epoch, flags uint64) []byte {
 	b := make([]byte, appLen)
 	copy(b[0:4], appMagic)
 	binary.LittleEndian.PutUint64(b[4:], ckptSeq)
@@ -107,21 +127,26 @@ func encodeApp(ckptSeq uint64, jsize int64, count, dropped, epoch uint64) []byte
 	binary.LittleEndian.PutUint64(b[20:], count)
 	binary.LittleEndian.PutUint64(b[28:], dropped)
 	binary.LittleEndian.PutUint64(b[36:], epoch)
+	binary.LittleEndian.PutUint64(b[44:], flags)
 	return b
 }
 
-func decodeApp(b []byte) (ckptSeq uint64, jsize int64, count, dropped, epoch uint64, err error) {
-	if len(b) == 0 {
-		return 0, 0, 0, 0, 0, nil
-	}
-	if len(b) != appLen || string(b[0:4]) != appMagic {
-		return 0, 0, 0, 0, 0, fmt.Errorf("audit: unrecognized durable meta blob (%d bytes)", len(b))
+func decodeApp(b []byte) (ckptSeq uint64, jsize int64, count, dropped, epoch, flags uint64, err error) {
+	switch {
+	case len(b) == 0:
+		return 0, 0, 0, 0, 0, 0, nil
+	case len(b) == appLen && string(b[0:4]) == appMagic:
+		flags = binary.LittleEndian.Uint64(b[44:])
+	case len(b) == appLenV1 && string(b[0:4]) == appMagicV1:
+		// flags = 0
+	default:
+		return 0, 0, 0, 0, 0, 0, fmt.Errorf("audit: unrecognized durable meta blob (%d bytes)", len(b))
 	}
 	return binary.LittleEndian.Uint64(b[4:]),
 		int64(binary.LittleEndian.Uint64(b[12:])),
 		binary.LittleEndian.Uint64(b[20:]),
 		binary.LittleEndian.Uint64(b[28:]),
-		binary.LittleEndian.Uint64(b[36:]), nil
+		binary.LittleEndian.Uint64(b[36:]), flags, nil
 }
 
 // appendStamped encodes one (seq, entry) pair: the WAL record format
@@ -272,7 +297,7 @@ func OpenDurable(site, dir string, o DurableOptions) (*Durable, RecoveryStats, e
 	if err != nil {
 		return nil, rs, err
 	}
-	d := &Durable{dir: dir, store: st, onErr: o.OnErr, noSync: o.NoSync}
+	d := &Durable{dir: dir, store: st, openFile: openFile, onErr: o.OnErr, noSync: o.NoSync}
 	fail := func(err error) (*Durable, RecoveryStats, error) {
 		if d.wal != nil {
 			d.wal.Close()
@@ -283,8 +308,8 @@ func OpenDurable(site, dir string, o DurableOptions) (*Durable, RecoveryStats, e
 		st.Close()
 		return nil, rs, err
 	}
-	var epoch uint64
-	d.ckptSeq, d.jsize, d.count, d.dropped, epoch, err = decodeApp(st.App())
+	var epoch, flags uint64
+	d.ckptSeq, d.jsize, d.count, d.dropped, epoch, flags, err = decodeApp(st.App())
 	if err != nil {
 		return fail(err)
 	}
@@ -296,6 +321,21 @@ func OpenDurable(site, dir string, o DurableOptions) (*Durable, RecoveryStats, e
 	size, err := d.jf.Size()
 	if err != nil {
 		return fail(err)
+	}
+	if flags&appCompactPending != 0 {
+		// A crash interrupted a compaction after its commit point: the
+		// meta attests log.compact.jsonl, and log.jsonl may hold bytes
+		// of either generation. Finish the copy-back before reading.
+		if err := d.finishCompaction(epoch); err != nil {
+			return fail(err)
+		}
+		size = d.jsize
+		rs.CompactionResumed = true
+	} else {
+		// A shadow file with the flag clear is wreckage of either a
+		// compaction that never committed or one that fully completed;
+		// in both cases log.jsonl is authoritative.
+		os.Remove(d.compactPath())
 	}
 
 	// WAL tail first: everything with seq > ckptSeq is newer than the
@@ -411,6 +451,7 @@ func OpenDurable(site, dir string, o DurableOptions) (*Durable, RecoveryStats, e
 	if bootstrap || len(tail) > 0 || rs.TornTail {
 		epoch++
 		d.log.epoch.Store(epoch)
+		d.seenEpoch = epoch
 		// Conclude recovery with a checkpoint: the tail is re-persisted
 		// into log.jsonl and the index, and the WAL shrinks back to
 		// (almost) nothing, so recovery work never accumulates.
@@ -419,6 +460,7 @@ func OpenDurable(site, dir string, o DurableOptions) (*Durable, RecoveryStats, e
 		}
 	} else {
 		d.log.epoch.Store(epoch)
+		d.seenEpoch = epoch
 	}
 
 	d.log.setBatchSink(&walFeed{w: d.wal}, o.OnErr, o.Sink)
@@ -428,7 +470,12 @@ func OpenDurable(site, dir string, o DurableOptions) (*Durable, RecoveryStats, e
 }
 
 // Log returns the in-memory log backed by this store. Appends through
-// it flow into the WAL via the attached sink.
+// it flow into the WAL via the attached sink. Structural mutation
+// does NOT: retention must go through Durable.Expire — calling
+// Expire/Rotate/Reset directly on the returned Log changes the shards
+// without the persistent index or the drop accounting following, and
+// the next Checkpoint refuses to persist the divergence (the log
+// epoch moved outside the store) rather than corrupt it silently.
 func (d *Durable) Log() *Log { return d.log }
 
 // Append forwards to the underlying log.
@@ -469,6 +516,15 @@ func (d *Durable) Checkpoint() error {
 }
 
 func (d *Durable) checkpointLocked() error {
+	// Gap accounting below attributes every missing seq in
+	// (ckptSeq, cur] to a DropOnFull drop. That only holds while
+	// entries leave the shards through this store: a direct
+	// Log.Expire/Rotate/Reset moved the log epoch without the index or
+	// the drop counter following, and persisting on top would corrupt
+	// both. Refuse instead.
+	if e := d.log.epoch.Load(); e != d.seenEpoch {
+		return fmt.Errorf("audit: log epoch moved %d -> %d outside the durable store (direct Log.Expire/Rotate/Reset?): retention on a durable store must go through Durable.Expire", d.seenEpoch, e)
+	}
 	// Capture the truncation bound BEFORE the cut: every WAL record at
 	// or below this LSN was appended before cur was read, so its seq
 	// is at or below cur and the checkpoint below covers it.
@@ -511,7 +567,7 @@ func (d *Durable) checkpointLocked() error {
 	// but never reached a shard: DropOnFull drops.
 	newDropped := d.dropped + (cur - d.ckptSeq) - uint64(len(batch))
 	newCount := d.count + uint64(len(batch))
-	if err := d.store.Checkpoint(encodeApp(cur, newSize, newCount, newDropped, d.log.epoch.Load())); err != nil {
+	if err := d.store.Checkpoint(encodeApp(cur, newSize, newCount, newDropped, d.log.epoch.Load(), 0)); err != nil {
 		return err
 	}
 	if err := d.wal.TruncateBefore(lsnCut + 1); err != nil {
@@ -682,15 +738,46 @@ func (d *Durable) Expire(cutoff, exceptionCutoff time.Time) (int, error) {
 		}
 	}
 	dropped := d.log.Expire(cutoff, exceptionCutoff)
+	d.seenEpoch = d.log.epoch.Load()
 	if err := d.compactLocked(); err != nil {
 		return dropped, err
 	}
 	return dropped, nil
 }
 
+// compactPath is the shadow file a compaction writes the new JSONL
+// generation into before committing it in the store meta.
+func (d *Durable) compactPath() string { return filepath.Join(d.dir, "log.compact.jsonl") }
+
+// rewriteLog replaces log.jsonl's contents with buf.
+func (d *Durable) rewriteLog(buf []byte) error {
+	if len(buf) > 0 {
+		if _, err := d.jf.WriteAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	if err := d.jf.Truncate(int64(len(buf))); err != nil {
+		return err
+	}
+	if d.noSync {
+		return nil
+	}
+	return d.jf.Sync()
+}
+
 // compactLocked rewrites log.jsonl from the surviving in-memory
 // entries, indexes the surviving tail, and checkpoints — the full
 // compaction behind Expire.
+//
+// The current meta attests log.jsonl's exact bytes, so they must stay
+// untouched until a newer meta commits (the same shadow-paging rule
+// the page store follows). The new generation is therefore written to
+// log.compact.jsonl first; the store checkpoint carrying the
+// appCompactPending flag is the atomic switch; only then is log.jsonl
+// rewritten and the flag cleared. A crash at any point leaves exactly
+// one committed generation for reopen to serve — before the flag
+// commit the old one, after it the new one (finished by
+// finishCompaction if the copy-back did not complete).
 func (d *Durable) compactLocked() error {
 	lsnCut := d.wal.LastLSN()
 	cur := d.log.seq.Load()
@@ -704,18 +791,29 @@ func (d *Durable) compactLocked() error {
 			return err
 		}
 	}
-	if len(buf) > 0 {
-		if _, err := d.jf.WriteAt(buf, 0); err != nil {
-			return err
-		}
-	}
-	if err := d.jf.Truncate(int64(len(buf))); err != nil {
+	cf, err := d.openFile(d.compactPath())
+	if err != nil {
 		return err
 	}
-	if !d.noSync {
-		if err := d.jf.Sync(); err != nil {
+	werr := func() error {
+		if len(buf) > 0 {
+			if _, err := cf.WriteAt(buf, 0); err != nil {
+				return err
+			}
+		}
+		if err := cf.Truncate(int64(len(buf))); err != nil {
 			return err
 		}
+		if d.noSync {
+			return nil
+		}
+		return cf.Sync()
+	}()
+	if cerr := cf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
 	}
 	// Index the surviving tail (the checkpointed part is already
 	// indexed; Expire deleted its victims above).
@@ -730,16 +828,62 @@ func (d *Durable) compactLocked() error {
 			return err
 		}
 	}
+	newSize := int64(len(buf))
+	newCount := uint64(len(all))
 	newDropped := d.dropped // expiry is not a drop; gaps already counted
-	if err := d.store.Checkpoint(encodeApp(cur, int64(len(buf)), uint64(len(all)), newDropped, d.log.epoch.Load())); err != nil {
+	epoch := d.log.epoch.Load()
+	// Commit point: the index mutations and the shadow generation
+	// become the durable truth in one atomic meta swap.
+	if err := d.store.Checkpoint(encodeApp(cur, newSize, newCount, newDropped, epoch, appCompactPending)); err != nil {
 		return err
 	}
+	if err := d.rewriteLog(buf); err != nil {
+		return err
+	}
+	if err := d.store.Checkpoint(encodeApp(cur, newSize, newCount, newDropped, epoch, 0)); err != nil {
+		return err
+	}
+	os.Remove(d.compactPath())
 	if err := d.wal.TruncateBefore(lsnCut + 1); err != nil {
 		return err
 	}
 	d.ckptSeq = cur
-	d.jsize = int64(len(buf))
-	d.count = uint64(len(all))
+	d.jsize = newSize
+	d.count = newCount
+	return nil
+}
+
+// finishCompaction completes a compaction that crashed between its
+// commit point and the copy-back: the attested prefix of the shadow
+// file is copied over log.jsonl, the pending flag cleared, and the
+// shadow removed. Idempotent — a crash mid-way re-runs it on the next
+// open. Called by OpenDurable before anything reads log.jsonl.
+func (d *Durable) finishCompaction(epoch uint64) error {
+	cf, err := d.openFile(d.compactPath())
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	csize, err := cf.Size()
+	if err != nil {
+		return err
+	}
+	if csize < d.jsize {
+		return fmt.Errorf("audit: log.compact.jsonl is %d bytes, pending compaction attests %d", csize, d.jsize)
+	}
+	buf := make([]byte, d.jsize)
+	if d.jsize > 0 {
+		if _, err := cf.ReadAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	if err := d.rewriteLog(buf); err != nil {
+		return err
+	}
+	if err := d.store.Checkpoint(encodeApp(d.ckptSeq, d.jsize, d.count, d.dropped, epoch, 0)); err != nil {
+		return err
+	}
+	os.Remove(d.compactPath())
 	return nil
 }
 

@@ -670,3 +670,119 @@ func TestDurableConcurrentCheckpoint(t *testing.T) {
 		t.Fatalf("recovery after concurrent run: %+v", rs)
 	}
 }
+
+// TestDurableExpireCrashInjection kills the store at randomized write
+// offsets during Expire's compaction. The compaction must be
+// all-or-nothing: whatever the crash point, reopen must succeed (the
+// store is never left unopenable) and serve either the pre-expiry or
+// the post-expiry generation — never a mix of the two — with the
+// index view matching memory.
+func TestDurableExpireCrashInjection(t *testing.T) {
+	entries := genDurableEntries(200, 13)
+	base := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+	cutoff := base.Add(25 * time.Second)
+
+	// Oracles: the same workload, expired (or not) in memory.
+	preLog, postLog := NewLog("s"), NewLog("s")
+	if err := preLog.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	if err := postLog.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	if postLog.Expire(cutoff, time.Time{}) == 0 {
+		t.Fatal("workload has nothing to expire")
+	}
+	pre, post := jsonlBytes(t, preLog.Snapshot()), jsonlBytes(t, postLog.Snapshot())
+
+	for trial := 0; trial < 24; trial++ {
+		dir := t.TempDir()
+		// Seed a clean, fully checkpointed store without failpoints, so
+		// the budget below is spent inside Expire alone.
+		d, _, err := OpenDurable("s", dir, DurableOptions{CommitInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Append(entries...); err != nil {
+			t.Fatal(err)
+		}
+		d.Sync()
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+
+		fb := storage.NewFailBudget(int64(1000 + trial*7919))
+		open := func(p string) (storage.File, error) {
+			inner, err := storage.OpenOSFile(p)
+			if err != nil {
+				return nil, err
+			}
+			return storage.NewFailFileShared(inner, fb), nil
+		}
+		d2, _, err := OpenDurable("s", dir, DurableOptions{OpenFile: open, CommitInterval: -1})
+		if err != nil {
+			continue // budget died during open's own bookkeeping
+		}
+		_, eerr := d2.Expire(cutoff, time.Time{})
+		completed := eerr == nil && !fb.Failed()
+		d2.Close()
+
+		d3, rs, err := OpenDurable("s", dir, DurableOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: store unopenable after crashed compaction: %v", trial, err)
+		}
+		got := jsonlBytes(t, d3.Log().Snapshot())
+		switch {
+		case completed && !bytes.Equal(got, post):
+			t.Fatalf("trial %d: completed expiry lost after reopen", trial)
+		case !completed && !bytes.Equal(got, pre) && !bytes.Equal(got, post):
+			t.Fatalf("trial %d: mixed-generation state after crash (%d bytes, pre %d, post %d)",
+				trial, len(got), len(pre), len(post))
+		}
+		if bytes.Equal(got, pre) && rs.CompactionResumed {
+			t.Fatalf("trial %d: resumed a compaction that never committed", trial)
+		}
+		if !bytes.Equal(jsonlBytes(t, d3.SnapshotByTime()), jsonlBytes(t, d3.Log().SnapshotByTime())) {
+			t.Fatalf("trial %d: index view diverges from memory after crashed compaction", trial)
+		}
+		// Life goes on: the store keeps accepting work either way.
+		if err := d3.Append(entries[:3]...); err != nil {
+			t.Fatalf("trial %d: post-recovery append: %v", trial, err)
+		}
+		d3.Sync()
+		d3.Close()
+	}
+}
+
+// TestDurableDirectExpireRejected: calling Expire on the wrapped Log
+// instead of Durable.Expire desynchronizes the shards from the index
+// and the drop accounting; the next checkpoint must refuse to persist
+// that instead of miscounting the expired tail as drops.
+func TestDurableDirectExpireRejected(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := OpenDurable("s", dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	entries := genDurableEntries(100, 14)
+	if err := d.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	base := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+	if d.Log().Expire(base.Add(20*time.Second), time.Time{}) == 0 {
+		t.Fatal("workload has nothing to expire")
+	}
+	if err := d.Checkpoint(); err == nil {
+		t.Fatal("checkpoint persisted a direct Log.Expire silently")
+	}
+	// The sanctioned path still works afterwards.
+	if _, err := d.Expire(base.Add(25*time.Second), time.Time{}); err != nil {
+		t.Fatalf("Durable.Expire after rejection: %v", err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after sanctioned expiry: %v", err)
+	}
+}

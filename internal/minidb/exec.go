@@ -184,7 +184,16 @@ func (db *Database) execUpdate(s *UpdateStmt) (*Result, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	updated := 0
+	// Two phases, like execDelete: evaluate every matched row first,
+	// then mirror the whole batch to the durable store write-ahead,
+	// and only then touch t.rows — a storage error rejects the
+	// statement whole instead of leaving it half-applied in both
+	// memory and the mirror.
+	var (
+		rowIdxs []int
+		ids     []uint64
+		nextRow [][]Value
+	)
 	for ri, row := range t.rows {
 		match := true
 		if s.Where != nil {
@@ -215,16 +224,20 @@ func (db *Database) execUpdate(s *UpdateStmt) (*Result, error) {
 			}
 			next[idxs[i]] = cv
 		}
-		if t.store != nil {
-			if err := t.store.update(t.ids[ri], next); err != nil {
-				return nil, err
-			}
+		rowIdxs = append(rowIdxs, ri)
+		ids = append(ids, t.ids[ri])
+		nextRow = append(nextRow, next)
+	}
+	if t.store != nil && len(ids) > 0 {
+		if err := t.store.updateRows(ids, nextRow); err != nil {
+			return nil, err
 		}
-		t.rows[ri] = next
-		updated++
+	}
+	for i, ri := range rowIdxs {
+		t.rows[ri] = nextRow[i]
 	}
 	t.version++
-	return &Result{Affected: updated}, nil
+	return &Result{Affected: len(rowIdxs)}, nil
 }
 
 func (db *Database) execSelect(s *SelectStmt) (*Result, error) {

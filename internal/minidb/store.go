@@ -28,7 +28,7 @@ import (
 // in statement order and need no locking of their own.
 type rowStore interface {
 	insert(id uint64, row []Value) error
-	update(id uint64, row []Value) error
+	updateRows(ids []uint64, rows [][]Value) error
 	deleteRows(ids []uint64) error
 	sync() error       // durability barrier: fsync the WAL tail
 	checkpoint() error // fold the WAL into the tree, truncate
@@ -260,14 +260,20 @@ func (f *fileStore) insert(id uint64, row []Value) error {
 	return f.bump()
 }
 
-func (f *fileStore) update(id uint64, row []Value) error {
-	if err := f.appendWAL(rowOpUpdate, id, row); err != nil {
-		return err
+func (f *fileStore) updateRows(ids []uint64, rows [][]Value) error {
+	for i, id := range ids {
+		if err := f.appendWAL(rowOpUpdate, id, rows[i]); err != nil {
+			return err
+		}
+		if err := f.st.Put(rowIDKey(id), encodeRow(nil, rows[i])); err != nil {
+			return err
+		}
+		f.recs++
 	}
-	if err := f.st.Put(rowIDKey(id), encodeRow(nil, row)); err != nil {
-		return err
+	if f.every > 0 && f.recs >= f.every {
+		return f.checkpoint()
 	}
-	return f.bump()
+	return nil
 }
 
 func (f *fileStore) deleteRows(ids []uint64) error {

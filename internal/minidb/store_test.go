@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -545,5 +546,61 @@ func TestFileStorageConcurrentInserts(t *testing.T) {
 	// recovered sequence must match the pre-close table order exactly.
 	if !sameRows(want, got) {
 		t.Fatal("recovered order diverged from insert order")
+	}
+}
+
+// blockableFile fails every write while armed, leaving reads (and the
+// setup phase) untouched.
+type blockableFile struct {
+	storage.File
+	fail *atomic.Bool
+}
+
+func (f *blockableFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.fail.Load() {
+		return 0, fmt.Errorf("minidb test: injected write failure")
+	}
+	return f.File.WriteAt(p, off)
+}
+
+// TestUpdateStorageErrorAtomic: a storage failure mid-UPDATE must
+// reject the statement whole — the in-memory table keeps every
+// pre-statement row, matching the delete path's write-ahead ordering,
+// instead of applying a prefix of the matched rows.
+func TestUpdateStorageErrorAtomic(t *testing.T) {
+	var failWrites atomic.Bool
+	db, err := OpenDatabase(StorageOptions{
+		Dir:             t.TempDir(),
+		CheckpointEvery: 8, // trip a (failing) auto-checkpoint mid-statement
+		NoSync:          true,
+		OpenFile: func(path string) (storage.File, error) {
+			inner, err := storage.OpenOSFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return &blockableFile{File: inner, fail: &failWrites}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT, b TEXT) STORAGE file`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v%d')`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := selectAll(t, db, "t")
+
+	failWrites.Store(true)
+	if _, err := db.Exec(`UPDATE t SET b = 'changed'`); err == nil {
+		t.Fatal("UPDATE over failing storage reported success")
+	}
+	failWrites.Store(false)
+	if got := selectAll(t, db, "t"); !sameRows(got, before) {
+		t.Fatalf("mid-statement storage failure left a partially applied UPDATE:\ngot  %v\nwant %v", got, before)
 	}
 }

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -20,7 +19,10 @@ import (
 // is written back when dirty (safe under the copy-on-write protocol —
 // a dirty frame is never part of the last durable checkpoint, so
 // writing it early can only touch pages the durable meta does not
-// reference) and dropped.
+// reference) and dropped. The per-stripe frame budget is soft: when
+// every resident frame is pinned by concurrent callers, a miss admits
+// its frame over budget instead of failing, and later misses evict
+// back down once pins release.
 
 // frame is one cached page.
 type frame struct {
@@ -149,11 +151,19 @@ func (p *Pool) get(id uint32, fresh bool) (*frame, error) {
 		return f, nil
 	}
 	p.misses.Add(1)
-	// Evict before inserting so the budget holds.
-	if s.frames >= s.cap {
-		if err := p.evictLocked(s); err != nil {
+	// Evict down to budget before inserting. The cap is a soft
+	// budget: when every resident frame is pinned (a concurrent
+	// working set larger than the stripe), the new frame is admitted
+	// over budget rather than failing the read, and later misses
+	// evict back down once pins release.
+	for s.frames >= s.cap {
+		evicted, err := p.evictLocked(s)
+		if err != nil {
 			s.mu.Unlock()
 			return nil, err
+		}
+		if !evicted {
+			break
 		}
 	}
 	f := &frame{id: id, buf: make([]byte, PageSize)}
@@ -176,8 +186,9 @@ func (p *Pool) get(id uint32, fresh bool) (*frame, error) {
 }
 
 // evictLocked drops the least recently used unpinned frame, writing
-// it back first when dirty. Stripe mutex held.
-func (p *Pool) evictLocked(s *poolStripe) error {
+// it back first when dirty. Returns false when every resident frame
+// is pinned and nothing could be evicted. Stripe mutex held.
+func (p *Pool) evictLocked(s *poolStripe) (bool, error) {
 	for f := s.tail; f != nil; f = f.prev {
 		if f.pins.Load() != 0 {
 			continue
@@ -190,7 +201,7 @@ func (p *Pool) evictLocked(s *poolStripe) error {
 			err := p.pager.writePage(f.id, f.buf)
 			f.latch.RUnlock()
 			if err != nil {
-				return err
+				return false, err
 			}
 			f.dirty = false
 			p.writeback.Add(1)
@@ -199,9 +210,9 @@ func (p *Pool) evictLocked(s *poolStripe) error {
 		delete(s.table, f.id)
 		s.frames--
 		p.evictions.Add(1)
-		return nil
+		return true, nil
 	}
-	return fmt.Errorf("storage: buffer pool stripe exhausted (every frame pinned)")
+	return false, nil
 }
 
 // put unpins a frame; dirty records that the caller mutated the bytes.

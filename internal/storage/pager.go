@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync/atomic"
 )
 
 // The pager owns page 0 — the meta page — and the raw page I/O. The
@@ -78,10 +79,14 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // pager performs raw page I/O and meta management on one File. It has
 // no locking of its own: the Store serializes writers, and reads of
-// distinct offsets through io.ReaderAt are safe concurrently.
+// distinct offsets through io.ReaderAt are safe concurrently. The
+// page count is atomic because grow runs under the store writer lock
+// while readers bounds-check concurrently under only the checkpoint
+// read lock; a reader observing the pre-grow count is harmless (it
+// can only reach a new page through a root it cannot see yet).
 type pager struct {
 	f     File
-	pages uint32 // allocated page count, including page 0
+	pages atomic.Uint32 // allocated page count, including page 0
 }
 
 func openPager(f File) (*pager, *Meta, error) {
@@ -94,7 +99,7 @@ func openPager(f File) (*pager, *Meta, error) {
 		// Fresh file: write version-0 meta into both slots so either
 		// read path finds it.
 		m := &Meta{Version: 0, Pages: 1}
-		p.pages = 1
+		p.pages.Store(1)
 		if err := p.writeMeta(m, 0); err != nil {
 			return nil, nil, err
 		}
@@ -130,7 +135,7 @@ func openPager(f File) (*pager, *Meta, error) {
 	// but their meta never committed (a torn checkpoint); resetting the
 	// page count from meta makes future allocations reuse that orphan
 	// tail.
-	p.pages = m.Pages
+	p.pages.Store(m.Pages)
 	return p, m, nil
 }
 
@@ -144,16 +149,16 @@ func (p *pager) writeMeta(m *Meta, slot int) error {
 }
 
 func (p *pager) readPage(id uint32, buf []byte) error {
-	if id == 0 || id >= p.pages {
-		return fmt.Errorf("storage: read of page %d out of bounds (pages=%d)", id, p.pages)
+	if n := p.pages.Load(); id == 0 || id >= n {
+		return fmt.Errorf("storage: read of page %d out of bounds (pages=%d)", id, n)
 	}
 	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
 	return err
 }
 
 func (p *pager) writePage(id uint32, buf []byte) error {
-	if id == 0 || id >= p.pages {
-		return fmt.Errorf("storage: write of page %d out of bounds (pages=%d)", id, p.pages)
+	if n := p.pages.Load(); id == 0 || id >= n {
+		return fmt.Errorf("storage: write of page %d out of bounds (pages=%d)", id, n)
 	}
 	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
 	return err
@@ -161,9 +166,7 @@ func (p *pager) writePage(id uint32, buf []byte) error {
 
 // grow appends one page to the file and returns its id.
 func (p *pager) grow() uint32 {
-	id := p.pages
-	p.pages++
-	return id
+	return p.pages.Add(1) - 1
 }
 
 // readFreelist loads the free-page-id chain starting at head,
@@ -192,6 +195,11 @@ func (p *pager) readFreelist(head uint32) (ids []uint32, chain []uint32, err err
 // writeFreelist persists ids into the given chain pages (len(chain)
 // must be ceil(len(ids)/idsPerFreelistPage)) and returns the head.
 func (p *pager) writeFreelist(ids []uint32, chain []uint32) (uint32, error) {
+	if len(ids) > len(chain)*idsPerFreelistPage {
+		// Dropping the overflow would leak pages from the allocator for
+		// the life of the file; an under-sized chain is a caller bug.
+		return 0, fmt.Errorf("storage: freelist chain of %d page(s) cannot hold %d ids", len(chain), len(ids))
+	}
 	if len(chain) == 0 {
 		return 0, nil
 	}

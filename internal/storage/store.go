@@ -105,9 +105,7 @@ func (s *Store) PoolStats() PoolStats { return s.pool.Stats() }
 
 // Pages returns the allocated page count of the file.
 func (s *Store) Pages() uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pager.pages
+	return s.pager.pages.Load()
 }
 
 // allocFrame allocates a page (free list first, then file growth) and
@@ -197,11 +195,12 @@ func (s *Store) checkpointLocked(app []byte) error {
 	ids := append(append([]uint32(nil), s.chain...), s.pendingFree...)
 	var chain []uint32
 	for {
+		// The chain must hold every id that will be written: the queued
+		// ids plus whatever remains of avail once chain pages are taken
+		// from it. Sizing against anything less silently drops the
+		// overflow in writeFreelist and leaks those pages forever.
 		total := len(avail) + len(ids)
-		k := (total - len(chain) + idsPerFreelistPage - 1) / idsPerFreelistPage
-		if total == len(chain) {
-			k = 0
-		}
+		k := (total + idsPerFreelistPage - 1) / idsPerFreelistPage
 		if k <= len(chain) {
 			break
 		}
@@ -229,7 +228,7 @@ func (s *Store) checkpointLocked(app []byte) error {
 	}
 	m := &Meta{
 		Version:  s.ckptVer + 1,
-		Pages:    s.pager.pages,
+		Pages:    s.pager.pages.Load(),
 		Root:     s.root.Load(),
 		FreeHead: head,
 		App:      app,
