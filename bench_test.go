@@ -8,10 +8,12 @@ package prima
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"sync"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/minidb"
 	"repro/internal/mining"
+	"repro/internal/netfed"
 	"repro/internal/policy"
 	"repro/internal/scenario"
 	"repro/internal/vocab"
@@ -1525,5 +1528,175 @@ func BenchmarkE16_Durability(b *testing.B) {
 			}
 			b.StartTimer()
 		}
+	})
+}
+
+// ---- E17: networked wire federation (PR 10) ----
+
+// e17SiteLogs builds the federation corpus: `sites` logs of `perSite`
+// entries each, drawn from the ingest pool with per-site user prefixes
+// (so cross-site events stay distinct) and globally interleaved
+// instants (so consolidation performs a real k-way merge rather than
+// concatenating runs).
+func e17SiteLogs(b *testing.B, sites, perSite int) []*audit.Log {
+	b.Helper()
+	pool := ingestPool()
+	base := time.Date(2007, 3, 1, 0, 0, 0, 0, time.UTC)
+	logs := make([]*audit.Log, sites)
+	for si := range logs {
+		logs[si] = audit.NewLog(fmt.Sprintf("site-%02d", si))
+		logs[si].Grow(perSite)
+		batch := make([]audit.Entry, 0, 4096)
+		for i := 0; i < perSite; i++ {
+			e := pool[i%len(pool)]
+			e.User = fmt.Sprintf("s%d-%s", si, e.User)
+			e.Time = base.Add(time.Duration(i*sites+si) * time.Millisecond)
+			batch = append(batch, e)
+			if len(batch) == cap(batch) || i == perSite-1 {
+				if err := logs[si].Append(batch...); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	return logs
+}
+
+// BenchmarkE17_WireFederation measures the networked federation tier
+// (PR 10) against its in-process oracle. The contract: shipping every
+// site's log over loopback TCP — binary codec, pipelined windowed
+// batches, per-conn goroutine pairs — keeps aggregate ingest within
+// ~2.5x of the in-process merge throughput, and the binary batch
+// codec encodes entries at least 3x faster than the JSON sink
+// encoder. wire-ingest also reports the consolidation lag percentiles
+// (batch send to ack round-trip, worst site).
+func BenchmarkE17_WireFederation(b *testing.B) {
+	const sites = 4
+	perSite := 1 << 20
+	if testing.Short() {
+		// CI smoke: one iteration over a small corpus; bench.sh runs
+		// the full four million entries.
+		perSite = 1 << 14
+	}
+	logs := e17SiteLogs(b, sites, perSite)
+	total := sites * perSite
+
+	b.Run(fmt.Sprintf("inprocess-merge/sites=%d", sites), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := audit.NewFederation(logs...).Consolidate()
+			if len(res.Entries) != total {
+				b.Fatalf("consolidated %d entries, want %d", len(res.Entries), total)
+			}
+		}
+		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+	})
+
+	b.Run(fmt.Sprintf("wire-ingest/sites=%d", sites), func(b *testing.B) {
+		b.ReportAllocs()
+		var lagP50, lagP99 time.Duration
+		var wireBytes uint64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cons, err := netfed.NewConsolidator(netfed.ConsolidatorOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			serveDone := make(chan error, 1)
+			go func() { serveDone <- cons.Serve(ln) }()
+			addr := ln.Addr().String()
+			ctx, cancel := context.WithCancel(context.Background())
+			streamers := make([]*netfed.Streamer, sites)
+			for si, l := range logs {
+				s, err := netfed.NewStreamer(l, "", netfed.StreamerOptions{
+					Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				streamers[si] = s
+			}
+			var run sync.WaitGroup
+			b.StartTimer()
+			for _, s := range streamers {
+				run.Add(1)
+				go func(s *netfed.Streamer) {
+					defer run.Done()
+					if err := s.Run(ctx); err != nil {
+						b.Error(err)
+					}
+				}(s)
+			}
+			for _, s := range streamers {
+				if err := s.Drain(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			cancel()
+			run.Wait()
+			lagP50, lagP99, wireBytes = 0, 0, 0
+			for _, s := range streamers {
+				st := s.Stats()
+				if st.LagP50 > lagP50 {
+					lagP50 = st.LagP50
+				}
+				if st.LagP99 > lagP99 {
+					lagP99 = st.LagP99
+				}
+				wireBytes += st.Bytes
+			}
+			if got := cons.Stats().Entries; got != uint64(total) {
+				b.Fatalf("consolidator folded %d entries, want %d", got, total)
+			}
+			if err := cons.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-serveDone; err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+		b.ReportMetric(float64(lagP50.Microseconds())/1000, "lag-p50-ms")
+		b.ReportMetric(float64(lagP99.Microseconds())/1000, "lag-p99-ms")
+		b.ReportMetric(float64(wireBytes)/float64(total), "wire-B/entry")
+	})
+
+	codecCorpus := logs[0].Snapshot()[:4096]
+	b.Run("codec=binary", func(b *testing.B) {
+		enc := netfed.NewEncoder()
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = enc.AppendBatch(buf[:0], 1, codecCorpus)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(codecCorpus)), "ns/entry")
+		b.ReportMetric(float64(len(buf))/float64(len(codecCorpus)), "B/entry")
+	})
+	b.Run("codec=jsonl", func(b *testing.B) {
+		var buf []byte
+		var err error
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			for j := range codecCorpus {
+				if buf, err = audit.AppendSinkJSON(buf, &codecCorpus[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(codecCorpus)), "ns/entry")
+		b.ReportMetric(float64(len(buf))/float64(len(codecCorpus)), "B/entry")
 	})
 }

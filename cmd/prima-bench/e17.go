@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/netfed"
+)
+
+// e17SiteLog builds one site's synthetic log: site-prefixed users over
+// the E15 behaviour vocabulary, timestamps interleaved across sites so
+// the consolidated order genuinely merges streams.
+func e17SiteLog(si, sites, n int) *audit.Log {
+	base := time.Date(2007, 3, 1, 0, 0, 0, 0, time.UTC)
+	l := audit.NewLog(fmt.Sprintf("site-%d", si))
+	l.Grow(n)
+	batch := make([]audit.Entry, 0, 4096)
+	for i := 0; i < n; i++ {
+		batch = append(batch, audit.Entry{
+			Time: base.Add(time.Duration(i*sites+si) * time.Millisecond), Op: audit.Allow,
+			User:       fmt.Sprintf("s%d-u%d", si, i%24),
+			Data:       fmt.Sprintf("lab%d", i%12),
+			Purpose:    fmt.Sprintf("task%d", (i/12)%8),
+			Authorized: fmt.Sprintf("role%d", (i/96)%6),
+			Status:     audit.Exception,
+		})
+		if len(batch) == cap(batch) {
+			if err := l.Append(batch...); err != nil {
+				panic(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := l.Append(batch...); err != nil {
+			panic(err)
+		}
+	}
+	return l
+}
+
+// runE17 measures the wire-federation path (beyond the paper): sites
+// streaming binary deltas over loopback TCP into a consolidator,
+// against the in-process merge oracle — and verifies the consolidated
+// views are byte-identical.
+func runE17(quick bool) error {
+	const sites = 4
+	perSite := 150000
+	if quick {
+		perSite = 25000
+	}
+	fmt.Printf("## E17 — wire federation (%d sites x %d entries over loopback)\n\n", sites, perSite)
+
+	logs := make([]*audit.Log, sites)
+	for si := range logs {
+		logs[si] = e17SiteLog(si, sites, perSite)
+	}
+
+	// In-process oracle merge.
+	start := time.Now()
+	want := audit.NewFederation(logs...).Consolidate()
+	mergeDur := time.Since(start)
+
+	// Wire path: consolidator + one streamer per site.
+	cons, err := netfed.NewConsolidator(netfed.ConsolidatorOptions{})
+	if err != nil {
+		return err
+	}
+	defer cons.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- cons.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	streamers := make([]*netfed.Streamer, sites)
+	var wg sync.WaitGroup
+	start = time.Now()
+	for si, l := range logs {
+		st, err := netfed.NewStreamer(l, "", netfed.StreamerOptions{
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		})
+		if err != nil {
+			return err
+		}
+		streamers[si] = st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = st.Run(ctx)
+		}()
+	}
+	for _, st := range streamers {
+		if err := st.Drain(ctx); err != nil {
+			return err
+		}
+	}
+	wireDur := time.Since(start)
+	cancel()
+	wg.Wait()
+
+	got := cons.Consolidate()
+	var wantB, gotB bytes.Buffer
+	if err := audit.WriteJSONL(&wantB, want.Entries); err != nil {
+		return err
+	}
+	if err := audit.WriteJSONL(&gotB, got.Entries); err != nil {
+		return err
+	}
+	identical := bytes.Equal(wantB.Bytes(), gotB.Bytes()) &&
+		got.Duplicates == want.Duplicates && len(got.Conflicts) == len(want.Conflicts)
+
+	total := sites * perSite
+	var wireBytes uint64
+	lagP99 := time.Duration(0)
+	for _, st := range streamers {
+		s := st.Stats()
+		wireBytes += s.Bytes
+		if s.LagP99 > lagP99 {
+			lagP99 = s.LagP99
+		}
+	}
+	fmt.Println("| path | throughput | note |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| in-process merge | %.0f entries/s | %s total |\n",
+		float64(total)/mergeDur.Seconds(), mergeDur.Round(time.Millisecond))
+	fmt.Printf("| wire ingest | %.0f entries/s | %.1f B/entry, lag p99 %s |\n",
+		float64(total)/wireDur.Seconds(), float64(wireBytes)/float64(total),
+		lagP99.Round(10*time.Microsecond))
+	fmt.Printf("\nconsolidated views byte-identical: %v (%d entries, %d duplicates, %d conflicts)\n\n",
+		identical, len(got.Entries), got.Duplicates, len(got.Conflicts))
+	if !identical {
+		return fmt.Errorf("E17: wire consolidation diverges from in-process oracle")
+	}
+	if err := cons.Close(); err != nil {
+		return err
+	}
+	if err := <-serveDone; err != nil {
+		return err
+	}
+	return nil
+}

@@ -66,6 +66,9 @@ func run(args []string) error {
 	if err := runE15(*quick); err != nil {
 		return err
 	}
+	if err := runE17(*quick); err != nil {
+		return err
+	}
 	fmt.Println("all paper artifacts reproduced")
 	return nil
 }

@@ -19,10 +19,9 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"log"
-	"net/http"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,35 +49,17 @@ func main() {
 	}
 }
 
-// serve runs the HTTP server until ctx is cancelled, then drains for
-// up to five seconds.
+// serve runs the hardened HTTP server (read/header/idle timeouts)
+// until ctx is cancelled, then drains in-flight requests for up to
+// five seconds.
 func serve(ctx context.Context, addr string, sys *prima.System) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.New(sys),
-		ReadHeaderTimeout: 5 * time.Second,
+	err := server.Run(ctx, addr, server.New(sys), 5*time.Second, func(a net.Addr) {
+		log.Printf("prima-server listening on %s", a)
+	})
+	if ctx.Err() != nil {
+		log.Printf("prima-server shut down")
 	}
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("prima-server listening on %s", addr)
-		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-			errCh <- err
-			return
-		}
-		errCh <- nil
-	}()
-	select {
-	case err := <-errCh:
-		return err
-	case <-ctx.Done():
-	}
-	log.Printf("prima-server shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return err
-	}
-	return <-errCh
+	return err
 }
 
 // buildSystem assembles the served system, optionally preloading the

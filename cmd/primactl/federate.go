@@ -1,0 +1,243 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/netfed"
+)
+
+func cmdFederate(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("federate requires an action: serve or stream")
+	}
+	switch args[0] {
+	case "serve":
+		return cmdFederateServe(args[1:])
+	case "stream":
+		return cmdFederateStream(args[1:])
+	default:
+		return fmt.Errorf("unknown federate action %q (want serve or stream)", args[0])
+	}
+}
+
+// cmdFederateServe runs a consolidator: it accepts site streams over
+// the binary wire protocol, folds their deltas into per-site stores,
+// and — when a policy store is given — runs continuous refinement
+// epochs over the consolidated view. Stops cleanly on SIGINT/SIGTERM,
+// then prints a summary and optionally exports the consolidated log.
+func cmdFederateServe(args []string) error {
+	fs := flag.NewFlagSet("federate serve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7601", "address to listen on")
+	window := fs.Int("window", 0, "ack window granted to each site (default 8)")
+	maxConns := fs.Int("max-conns", 0, "maximum concurrent site connections (default 4096)")
+	policyFile := fs.String("policy", "", "policy store file; enables continuous refinement epochs")
+	vocabFile := fs.String("vocab", "", "vocabulary file (default: paper sample; used with -policy)")
+	support := fs.Int("support", 5, "refinement threshold frequency f")
+	users := fs.Int("users", 2, "refinement minimum distinct users")
+	interval := fs.Duration("interval", 5*time.Second, "refinement epoch interval (with -policy)")
+	investigate := fs.Float64("investigate", 0, "suspicion score that flags a mined rule for investigation")
+	reject := fs.Float64("reject", 0, "suspicion score that rejects a mined rule (0 = adopt all)")
+	export := fs.String("export", "", "write the consolidated log to this JSONL file on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := netfed.ConsolidatorOptions{
+		MaxConns: *maxConns,
+		Window:   *window,
+		OnError:  func(err error) { fmt.Fprintln(os.Stderr, "primactl: federate:", err) },
+	}
+	if *policyFile != "" {
+		v, err := loadVocab(*vocabFile)
+		if err != nil {
+			return err
+		}
+		ps, err := loadPolicy("PS", *policyFile)
+		if err != nil {
+			return err
+		}
+		opts.Refine = &netfed.RefineConfig{
+			PS:    ps,
+			Vocab: v,
+			Opts: core.Options{
+				MinSupport:       *support,
+				MinDistinctUsers: *users,
+			},
+			Interval:      *interval,
+			InvestigateAt: *investigate,
+			RejectAt:      *reject,
+		}
+	}
+	cons, err := netfed.NewConsolidator(opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("consolidator listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	quit := make(chan struct{})
+	sigDone := make(chan struct{})
+	go func() {
+		defer close(sigDone)
+		select {
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "primactl: %v, shutting down\n", s)
+			cons.Close()
+		case <-quit:
+		}
+	}()
+	serveErr := cons.Serve(ln)
+	close(quit)
+	<-sigDone
+	signal.Stop(sig)
+	cons.Close()
+	if serveErr != nil {
+		return serveErr
+	}
+
+	st := cons.Stats()
+	fmt.Printf("sites=%d batches=%d entries=%d duplicates=%d epochs=%d\n",
+		st.Sites, st.Batches, st.Entries, st.Duplicates, st.Epochs)
+	names := make([]string, 0, len(st.SiteSeqs))
+	for name := range st.SiteSeqs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  site %-20s seq=%d\n", name, st.SiteSeqs[name])
+	}
+	if rounds := cons.History(); len(rounds) > 0 {
+		var adopted, rejected, investigating int
+		for _, r := range rounds {
+			adopted += len(r.Adopted)
+			rejected += len(r.Rejected)
+			investigating += len(r.Investigating)
+		}
+		fmt.Printf("refinement: %d epochs, coverage %.1f%% -> %.1f%%, adopted=%d rejected=%d investigate=%d\n",
+			len(rounds), rounds[0].CoverageBefore*100, rounds[len(rounds)-1].CoverageAfter*100,
+			adopted, rejected, investigating)
+	}
+	if *export != "" {
+		res := cons.Consolidate()
+		f, err := os.Create(*export)
+		if err != nil {
+			return err
+		}
+		if err := audit.WriteJSONL(f, res.Entries); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("exported %d consolidated entries (%d duplicates, %d conflicts) to %s\n",
+			len(res.Entries), res.Duplicates, len(res.Conflicts), *export)
+	}
+	return nil
+}
+
+// cmdFederateStream ships one site's audit log to a consolidator and
+// waits for every entry to be acknowledged, surviving disconnects via
+// the resume protocol.
+func cmdFederateStream(args []string) error {
+	fs := flag.NewFlagSet("federate stream", flag.ContinueOnError)
+	addr := fs.String("addr", "", "consolidator address (required)")
+	auditFile := fs.String("audit", "", "audit log file, .jsonl or .csv (required)")
+	site := fs.String("site", "", "site name (default: most common site in the log, else \"site\")")
+	batch := fs.Int("batch", 0, "entries per batch (default 4096)")
+	window := fs.Int("window", 0, "unacked batches in flight (default 8)")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" || *auditFile == "" {
+		return fmt.Errorf("federate stream requires -addr and -audit")
+	}
+	entries, err := loadAudit(*auditFile)
+	if err != nil {
+		return err
+	}
+	name := *site
+	if name == "" {
+		name = commonSite(entries)
+	}
+	l := audit.NewLog(name)
+	l.Grow(len(entries))
+	if err := l.Append(entries...); err != nil {
+		return err
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+	dialer := &net.Dialer{Timeout: 10 * time.Second}
+	streamer, err := netfed.NewStreamer(l, name, netfed.StreamerOptions{
+		Dial:         func() (net.Conn, error) { return dialer.DialContext(ctx, "tcp", *addr) },
+		BatchEntries: *batch,
+		Window:       *window,
+		OnError:      func(err error) { fmt.Fprintln(os.Stderr, "primactl: federate:", err) },
+	})
+	if err != nil {
+		return err
+	}
+
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+	runErr := make(chan error, 1)
+	go func() {
+		err := streamer.Run(runCtx)
+		runErr <- err
+		stopRun() // unblock Drain if Run hit a terminal fault
+	}()
+	drainErr := streamer.Drain(runCtx)
+	stopRun()
+	if err := <-runErr; err != nil {
+		return err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("interrupted before the log drained: %w", drainErr)
+	}
+
+	st := streamer.Stats()
+	fmt.Printf("streamed %d entries from site %q in %d batches (%d bytes on the wire)\n",
+		l.Seq(), name, st.Batches, st.Bytes)
+	fmt.Printf("acked=%d reconnects=%d retransmits=%d lag p50=%s p99=%s\n",
+		st.Acked, st.Reconnects, st.Retransmits, st.LagP50, st.LagP99)
+	return nil
+}
+
+// commonSite picks the most frequent non-empty Site in the entries as
+// the stream's site name, so plain exports stream without flags.
+func commonSite(entries []audit.Entry) string {
+	counts := make(map[string]int)
+	for _, e := range entries {
+		if e.Site != "" {
+			counts[e.Site]++
+		}
+	}
+	best, bestN := "site", 0
+	for name, n := range counts {
+		if n > bestN || (n == bestN && name < best) {
+			best, bestN = name, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	prima "repro"
+)
+
+// freeAddr reserves a loopback port and releases it for the command
+// under test to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestFederateServeStream drives the full CLI loop: a consolidator
+// with continuous refinement, a site streaming the Table 1 log to it
+// over TCP, a graceful SIGTERM shutdown, and the exported
+// consolidated JSONL.
+func TestFederateServeStream(t *testing.T) {
+	policyFile, auditJSONL, _ := writeFixtures(t)
+	addr := freeAddr(t)
+	export := filepath.Join(t.TempDir(), "consolidated.jsonl")
+
+	out, err := capture(t, func() error {
+		serveErr := make(chan error, 1)
+		go func() {
+			serveErr <- run([]string{"federate", "serve",
+				"-listen", addr, "-policy", policyFile,
+				"-interval", "50ms", "-export", export})
+		}()
+		// Wait for the listener to come up.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			c, err := net.Dial("tcp", addr)
+			if err == nil {
+				_ = c.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("consolidator never listened on %s", addr)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err := run([]string{"federate", "stream",
+			"-addr", addr, "-audit", auditJSONL, "-site", "siteA"}); err != nil {
+			return fmt.Errorf("stream: %w", err)
+		}
+		// Let at least one refinement epoch observe the folded entries.
+		time.Sleep(150 * time.Millisecond)
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			return err
+		}
+		select {
+		case err := <-serveErr:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("serve did not shut down on SIGTERM")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"streamed 10 entries from site \"siteA\"",
+		"sites=1",
+		"refinement:",
+		"exported 10 consolidated entries",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	f, err := os.Open(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := prima.ReadAuditJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("exported %d entries, want 10", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Time.Before(entries[i-1].Time) {
+			t.Fatalf("export not chronological at %d", i)
+		}
+	}
+}
+
+func TestFederateUsageErrors(t *testing.T) {
+	if err := run([]string{"federate"}); err == nil {
+		t.Error("bare federate should fail")
+	}
+	if err := run([]string{"federate", "bogus"}); err == nil {
+		t.Error("unknown action should fail")
+	}
+	if err := run([]string{"federate", "stream"}); err == nil {
+		t.Error("stream without -addr/-audit should fail")
+	}
+}

@@ -14,6 +14,8 @@
 //	primactl lint     -vocab V -policy P [-json] [-overbroad F] [-materialize]
 //	primactl vocab    [-file V] [-gen BxD] [-stats]  print or generate a vocabulary
 //	primactl audit recover -dir D [-site S] [-checkpoint=false] [-export out.jsonl]
+//	primactl federate serve  -listen A [-policy P [-vocab V] [-interval 5s] [-reject X]] [-export out.jsonl]
+//	primactl federate stream -addr A -audit F [-site S] [-batch N] [-window N]
 //
 // Vocabularies use the indented text format, policies one compact
 // rule per line, audit logs JSONL or CSV (by extension).
@@ -77,8 +79,10 @@ func run(args []string) error {
 		return cmdLint(args[1:])
 	case "audit":
 		return cmdAudit(args[1:])
+	case "federate":
+		return cmdFederate(args[1:])
 	case "help", "-h", "--help":
-		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, patterns, generalize, report, lint, vocab, audit recover")
+		fmt.Println("subcommands: demo {fig3|table1}, coverage, refine, patterns, generalize, report, lint, vocab, audit recover, federate {serve|stream}")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

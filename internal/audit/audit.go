@@ -24,6 +24,7 @@
 package audit
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -233,6 +234,12 @@ type Log struct {
 	mask  uint64
 	seq   atomic.Uint64 // last assigned sequence number
 	epoch atomic.Uint64 // bumped by structural ops (Reset/Expire/Rotate)
+	// floor is the sequence number the live entries start above; Reset
+	// advances it to the counter so a fresh ExportCursor can export a
+	// reset log (append-only after a reset keeps sequences dense).
+	// Retention trims (Expire/Rotate) punch mid-range holes instead and
+	// leave the floor alone — such logs are not wire-exportable.
+	floor atomic.Uint64
 	// addMu brackets the assign-sequence-then-add-to-shard window of
 	// every append (shared side). The durable checkpoint takes the
 	// exclusive side as a fence: once acquired, every sequence number
@@ -530,6 +537,7 @@ func (l *Log) Reset() {
 		sh.stats = statsAcc{}
 		sh.mu.Unlock()
 	}
+	l.floor.Store(l.seq.Load())
 	l.epoch.Add(1)
 }
 
@@ -555,6 +563,125 @@ func (l *Log) Grow(n int) {
 		}
 		sh.mu.Unlock()
 	}
+}
+
+// ErrExportInvalidated reports that an ExportCursor was cut loose by
+// a structural log change (Reset/Expire/Rotate): the seq-contiguous
+// ranges the cursor was exporting no longer exist, so the exporter
+// must renegotiate from scratch rather than silently skip entries.
+var ErrExportInvalidated = errors.New("audit: export cursor invalidated by a structural log change")
+
+// ExportCursor marks how far a seq-ranged exporter (the wire
+// federation streamer) has read the log. Unlike Cursor, whose
+// consumers tolerate resyncs, an export cursor guarantees the
+// contiguous range property: successive ExportDelta calls return
+// exactly the entries with c.Seq() < seq <= next.Seq(), no gap and no
+// duplicate, or fail with ErrExportInvalidated. The zero cursor
+// starts from the beginning.
+type ExportCursor struct {
+	seq   uint64
+	epoch uint64
+	pos   []int
+	// deferred holds entries observed past the positional scan but
+	// above the export horizon: with concurrent appenders, a shard
+	// tail can interleave seq numbers around the horizon (the fence
+	// only guarantees everything at or below it is present). Entries
+	// beyond the horizon are carried here, sorted by seq, and consumed
+	// by prefix as the horizon passes them, keeping the positional
+	// cursor strictly forward.
+	deferred []stamped
+}
+
+// Seq returns the highest sequence number the cursor has exported.
+func (c ExportCursor) Seq() uint64 { return c.seq }
+
+// ExportDelta returns the entries appended since the cursor in
+// ascending sequence order — exactly the contiguous range
+// (c.Seq(), next.Seq()] — advancing the cursor. max bounds the batch
+// (0 means unbounded). The cost is O(delta), not O(log): per-shard
+// positions let each call scan only the tails appended since the last
+// one. A structural change (Reset/Expire/Rotate) invalidates the
+// cursor and every later call returns ErrExportInvalidated.
+func (l *Log) ExportDelta(c ExportCursor, max int) ([]Entry, ExportCursor, error) {
+	ep := l.epoch.Load()
+	if c.pos == nil && c.seq == 0 {
+		c = ExportCursor{seq: l.floor.Load(), epoch: ep, pos: make([]int, len(l.shards))}
+	}
+	if c.epoch != ep || len(c.pos) != len(l.shards) {
+		return nil, c, ErrExportInvalidated
+	}
+	hi := l.seq.Load()
+	if max > 0 && hi > c.seq+uint64(max) {
+		hi = c.seq + uint64(max)
+	}
+	if hi <= c.seq {
+		return nil, c, nil
+	}
+	// The fence guarantees every sequence number at or below hi has
+	// finished adding to its shard, so the positional scan below
+	// observes the complete range.
+	l.settle()
+	// Fast path first: stop each shard at its first above-horizon
+	// entry, so catching up on a deep log costs O(batch) per call, not
+	// O(remaining log). It comes up short only when an append raced
+	// the horizon (a later sequence number landed in a shard before an
+	// earlier one); the full scan then defers the stragglers' cohort
+	// and stays correct under arbitrary interleaving.
+	buf, next, ok := l.exportScan(c, hi, ep, false)
+	if !ok {
+		buf, next, ok = l.exportScan(c, hi, ep, true)
+	}
+	if !ok || l.epoch.Load() != ep {
+		// A structural op raced the scan, or entries inside the range
+		// are gone: the contiguity guarantee cannot be kept.
+		return nil, c, ErrExportInvalidated
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].seq < buf[j].seq })
+	return unstamp(buf), next, nil
+}
+
+// exportScan collects the stamped entries in (c.seq, hi] and builds
+// the successor cursor. With full=false each shard's scan stops at
+// the first entry above the horizon; with full=true it scans to the
+// shard end, deferring above-horizon entries (sorted by seq). ok is
+// false when the collected count does not match the range — a raced
+// horizon on the fast path, an invalidated cursor on the full one.
+func (l *Log) exportScan(c ExportCursor, hi uint64, ep uint64, full bool) ([]stamped, ExportCursor, bool) {
+	buf := make([]stamped, 0, hi-c.seq)
+	next := ExportCursor{seq: hi, epoch: ep, pos: make([]int, len(l.shards))}
+	// The deferred buffer is sorted by seq: consume the prefix the
+	// horizon has passed, alias the rest.
+	k := sort.Search(len(c.deferred), func(i int) bool { return c.deferred[i].seq > hi })
+	buf = append(buf, c.deferred[:k]...)
+	next.deferred = c.deferred[k:]
+	newDeferred := false
+	for i, sh := range l.shards {
+		from := c.pos[i]
+		sh.mu.RLock()
+		n := len(sh.entries)
+		if from > n {
+			sh.mu.RUnlock()
+			return nil, c, false
+		}
+		next.pos[i] = n
+		for j := from; j < n; j++ {
+			se := sh.entries[j]
+			if se.seq <= hi {
+				buf = append(buf, se)
+			} else if full {
+				next.deferred = append(next.deferred, se)
+				newDeferred = true
+			} else {
+				next.pos[i] = j
+				break
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if newDeferred {
+		sort.Slice(next.deferred, func(i, j int) bool { return next.deferred[i].seq < next.deferred[j].seq })
+	}
+	return buf, next, uint64(len(buf)) == hi-c.seq
 }
 
 // ToPolicy builds the ground policy P_AL from entries: one rule per

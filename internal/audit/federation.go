@@ -1,7 +1,6 @@
 package audit
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -75,26 +74,54 @@ type mergeCursor struct {
 // cursorHeap is a min-heap of cursors ordered by the timestamp of
 // their next entry, ties broken by source index — exactly the order
 // the linear best-cursor scan produced (the first source with the
-// minimal time wins), so the consolidated view is unchanged.
+// minimal time wins), so the consolidated view is unchanged. The
+// sift-down is typed and hand-rolled: the merge loop only ever fixes
+// the root or removes it, so the container/heap interface (and its
+// per-operation any boxing) bought nothing.
 type cursorHeap []*mergeCursor
 
-func (h cursorHeap) Len() int { return len(h) }
-func (h cursorHeap) Less(i, j int) bool {
+func (h cursorHeap) less(i, j int) bool {
 	ti, tj := h[i].entries[h[i].pos].Time, h[j].entries[h[j].pos].Time
 	if ti.Equal(tj) {
 		return h[i].src < h[j].src
 	}
 	return ti.Before(tj)
 }
-func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(*mergeCursor)) }
-func (h *cursorHeap) Pop() interface{} {
+
+// siftDown restores the heap property below i after h[i] changed.
+func (h cursorHeap) siftDown(i int) {
+	for {
+		left := 2*i + 1
+		if left >= len(h) {
+			return
+		}
+		least := left
+		if right := left + 1; right < len(h) && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// init heapifies in place.
+func (h cursorHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// popRoot removes the root cursor (its source is exhausted).
+func (h *cursorHeap) popRoot() {
 	old := *h
 	n := len(old)
-	c := old[n-1]
+	old[0] = old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
-	return c
+	(*h).siftDown(0)
 }
 
 // replicaKey is the identity of an entry within one instant: two
@@ -137,13 +164,13 @@ func (f *Federation) Consolidate() Result {
 		total += len(snapshots[i])
 	}
 
-	h := make(cursorHeap, 0, len(snapshots))
+	h := make(cursorHeap, 0, f.Sources())
 	for i, es := range snapshots {
 		if len(es) > 0 {
 			h = append(h, &mergeCursor{entries: es, src: i})
 		}
 	}
-	heap.Init(&h)
+	h.init()
 
 	var res Result
 	res.Entries = make([]Entry, 0, total)
@@ -157,14 +184,14 @@ func (f *Federation) Consolidate() Result {
 	var curUnix int64
 	window := false
 
-	for h.Len() > 0 {
+	for len(h) > 0 {
 		c := h[0]
 		e := c.entries[c.pos]
 		c.pos++
 		if c.pos >= len(c.entries) {
-			heap.Pop(&h)
+			h.popRoot()
 		} else {
-			heap.Fix(&h, 0)
+			h.siftDown(0)
 		}
 
 		unix := e.Time.UnixNano()
@@ -175,7 +202,7 @@ func (f *Federation) Consolidate() Result {
 		// next minimum), the entry can neither be a replica nor a
 		// conflict — emit it without touching the window maps.
 		if (!window || unix != curUnix) &&
-			(h.Len() == 0 || !h[0].entries[h[0].pos].Time.Equal(e.Time)) {
+			(len(h) == 0 || !h[0].entries[h[0].pos].Time.Equal(e.Time)) {
 			window = false
 			curUnix = unix
 			res.Entries = append(res.Entries, e)

@@ -147,7 +147,15 @@ func (g Group) Rule() (policy.Rule, error) {
 // Groups merges the per-shard accumulators into one deterministic
 // view, sorted by the raw group identity. Cost is O(groups), not
 // O(entries): this is the read side of the incremental index.
-func (l *Log) Groups() []Group {
+func (l *Log) Groups() []Group { return MergeGroups(l) }
+
+// MergeGroups merges the incremental per-rule indexes of several logs
+// into one deterministic cross-log view, sorted by the raw group
+// identity — the federated analytics feed: a consolidator holding one
+// log per site reads combined groups (summed counts, unioned distinct
+// users, widened practice windows) in O(groups) without materializing
+// a merged entry stream. MergeGroups(l) is exactly l.Groups().
+func MergeGroups(logs ...*Log) []Group {
 	type merged struct {
 		canon    string
 		total    int
@@ -157,32 +165,34 @@ func (l *Log) Groups() []Group {
 		last     time.Time
 	}
 	acc := make(map[groupKey]*merged)
-	for _, sh := range l.shards {
-		sh.mu.RLock()
-		for k, g := range sh.groups {
-			m := acc[k]
-			if m == nil {
-				m = &merged{canon: g.canon}
-				acc[k] = m
-			}
-			m.total += g.total
-			m.practice += g.practice
-			if len(g.users) > 0 {
-				if m.users == nil {
-					m.users = make(map[string]struct{}, len(g.users))
+	for _, l := range logs {
+		for _, sh := range l.shards {
+			sh.mu.RLock()
+			for k, g := range sh.groups {
+				m := acc[k]
+				if m == nil {
+					m = &merged{canon: g.canon}
+					acc[k] = m
 				}
-				for u := range g.users {
-					m.users[u] = struct{}{}
+				m.total += g.total
+				m.practice += g.practice
+				if len(g.users) > 0 {
+					if m.users == nil {
+						m.users = make(map[string]struct{}, len(g.users))
+					}
+					for u := range g.users {
+						m.users[u] = struct{}{}
+					}
+				}
+				if !g.first.IsZero() && (m.first.IsZero() || g.first.Before(m.first)) {
+					m.first = g.first
+				}
+				if g.last.After(m.last) {
+					m.last = g.last
 				}
 			}
-			if !g.first.IsZero() && (m.first.IsZero() || g.first.Before(m.first)) {
-				m.first = g.first
-			}
-			if g.last.After(m.last) {
-				m.last = g.last
-			}
+			sh.mu.RUnlock()
 		}
-		sh.mu.RUnlock()
 	}
 	out := make([]Group, 0, len(acc))
 	for k, m := range acc {

@@ -201,6 +201,14 @@ func appendJSONLine(dst []byte, e *Entry) ([]byte, error) {
 	return append(dst, "}\n"...), nil
 }
 
+// AppendSinkJSON appends the sink's hand-rolled JSON-line encoding of
+// e to dst — the exact bytes the durable JSONL sink writes per entry.
+// Exported as the baseline for the wire codec benchmarks: the binary
+// batch codec's per-entry cost is measured against this encoder.
+func AppendSinkJSON(dst []byte, e *Entry) ([]byte, error) {
+	return appendJSONLine(dst, e)
+}
+
 // run is the flusher goroutine: per wakeup it swaps the whole pending
 // buffer out, encodes each entry as one JSON line into its owned
 // buffer, and writes to the sink writer when the batch fills, the

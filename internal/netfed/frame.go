@@ -1,0 +1,170 @@
+// Package netfed is the networked Audit Management tier (paper §4.2):
+// N hospital sites stream audit-log deltas over a binary wire protocol
+// to a consolidator that folds them into a federated store and runs
+// federation, refinement, and cross-site suspicion review continuously
+// — the role DB2 Information Integrator plays in the paper's first
+// instantiation, over a real network instead of an in-process merge.
+//
+// The wire format is built for the hot path: length-prefixed frames
+// with varint headers and a CRC32-C trailer, a dictionary-compressed
+// binary codec for audit.Entry batches (no JSON anywhere on the data
+// path), pipelined seq-ranged batches with windowed acks for
+// backpressure, and resume-from-seq after reconnect. The in-process
+// audit.Federation stays the differential oracle: a consolidator fed
+// over the wire must reproduce Federation.Consolidate byte for byte.
+package netfed
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// Message types. A frame carries exactly one message.
+const (
+	// MsgHello opens a session (client -> server): protocol version
+	// and site name.
+	MsgHello byte = 1
+	// MsgHelloAck answers a hello (server -> client): protocol
+	// version, resume sequence (highest contiguous sequence number the
+	// server already holds for the site) and the ack window (maximum
+	// unacknowledged batches the client may pipeline).
+	MsgHelloAck byte = 2
+	// MsgBatch carries one seq-ranged delta batch of audit entries
+	// (client -> server), encoded by the batch codec in codec.go.
+	MsgBatch byte = 3
+	// MsgAck acknowledges folded batches (server -> client): the
+	// highest contiguous sequence number folded into the store. Acks
+	// are coalesced — one ack may cover several batches.
+	MsgAck byte = 4
+	// MsgError reports a protocol fault (either direction); the sender
+	// closes the connection after it.
+	MsgError byte = 5
+)
+
+// MaxFrame bounds the encoded size of one frame's body (type byte +
+// payload). Frames above it are rejected before any allocation, so a
+// hostile length prefix cannot balloon memory.
+const MaxFrame = 16 << 20
+
+// frameOverhead is the fixed trailer: the CRC32-C of body.
+const frameOverhead = 4
+
+// crcTable is the Castagnoli table shared by encode and decode;
+// crc32.Checksum with a precomputed table is hardware-accelerated on
+// amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame decode errors. Decoders return errors, never panic, on torn
+// or hostile input — the fuzzers in fuzz_test.go pin that contract.
+var (
+	ErrFrameTooLarge = errors.New("netfed: frame exceeds MaxFrame")
+	ErrFrameCorrupt  = errors.New("netfed: frame CRC mismatch")
+	errShortFrame    = errors.New("netfed: short frame")
+)
+
+// AppendFrame appends one framed message to dst and returns the
+// extended slice: uvarint body length, then the body (type byte +
+// payload), then the CRC32-C of the body.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	body := 1 + len(payload)
+	dst = binary.AppendUvarint(dst, uint64(body))
+	start := len(dst)
+	dst = append(dst, typ)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// DecodeFrame decodes one frame from the front of b. It returns the
+// message type, the payload (aliasing b — zero copy), and the number
+// of bytes consumed. err is io.ErrUnexpectedEOF when b holds only a
+// frame prefix (read more and retry), or a terminal error for frames
+// that can never become valid.
+func DecodeFrame(b []byte) (typ byte, payload []byte, n int, err error) {
+	body, hdr := binary.Uvarint(b)
+	if hdr == 0 {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	if hdr < 0 || body > MaxFrame {
+		return 0, nil, 0, ErrFrameTooLarge
+	}
+	if body < 1 {
+		return 0, nil, 0, errShortFrame
+	}
+	total := hdr + int(body) + frameOverhead
+	if len(b) < total {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	bodyBytes := b[hdr : hdr+int(body)]
+	want := binary.LittleEndian.Uint32(b[hdr+int(body):])
+	if crc32.Checksum(bodyBytes, crcTable) != want {
+		return 0, nil, 0, ErrFrameCorrupt
+	}
+	return bodyBytes[0], bodyBytes[1:], total, nil
+}
+
+// FrameReader incrementally decodes frames from an io.Reader with one
+// internal buffer: payloads returned by Next alias the buffer and are
+// valid only until the following Next call (zero-copy decoding — the
+// batch codec reads straight out of the read buffer).
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+	pos int // consumed prefix of buf
+	end int // filled prefix of buf
+}
+
+// NewFrameReader wraps r. The initial buffer grows on demand and is
+// reused across frames.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: make([]byte, 64<<10)}
+}
+
+// Next reads and verifies the next frame. On clean end-of-stream
+// (between frames) it returns io.EOF; a stream torn inside a frame
+// returns io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() (typ byte, payload []byte, err error) {
+	for {
+		typ, payload, n, derr := DecodeFrame(fr.buf[fr.pos:fr.end])
+		if derr == nil {
+			fr.pos += n
+			return typ, payload, nil
+		}
+		if derr != io.ErrUnexpectedEOF {
+			return 0, nil, derr
+		}
+		if err := fr.fill(); err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// fill reads more bytes, compacting or growing the buffer as needed.
+func (fr *FrameReader) fill() error {
+	if fr.pos > 0 {
+		// Compact: move the unconsumed tail to the front so the buffer
+		// is reused instead of regrown.
+		copy(fr.buf, fr.buf[fr.pos:fr.end])
+		fr.end -= fr.pos
+		fr.pos = 0
+	}
+	if fr.end == len(fr.buf) {
+		grown := make([]byte, 2*len(fr.buf))
+		copy(grown, fr.buf[:fr.end])
+		fr.buf = grown
+	}
+	n, err := fr.r.Read(fr.buf[fr.end:])
+	fr.end += n
+	if n > 0 {
+		return nil
+	}
+	if err == nil {
+		return nil
+	}
+	if err == io.EOF && fr.end > fr.pos {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

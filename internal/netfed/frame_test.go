@@ -1,0 +1,230 @@
+package netfed
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+)
+
+// genEntries builds n deterministic entries with repeated field values
+// (the dictionary's case) plus occasional sites and reasons.
+func genEntries(seed int64, n int) []audit.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Unix(1700000000, 0).UTC()
+	users := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	data := []string{"referral", "psychiatry", "lab results", "billing"}
+	purposes := []string{"treatment", "research", "billing"}
+	roles := []string{"nurse", "physician", "clerk"}
+	out := make([]audit.Entry, n)
+	for i := range out {
+		st, op := audit.Regular, audit.Allow
+		switch rng.Intn(4) {
+		case 0:
+			st = audit.Exception
+		case 1:
+			op = audit.Deny
+		}
+		e := audit.Entry{
+			Time:       base.Add(time.Duration(rng.Intn(600)) * time.Minute),
+			Op:         op,
+			User:       users[rng.Intn(len(users))],
+			Data:       data[rng.Intn(len(data))],
+			Purpose:    purposes[rng.Intn(len(purposes))],
+			Authorized: roles[rng.Intn(len(roles))],
+			Status:     st,
+		}
+		if rng.Intn(3) == 0 {
+			e.Site = "site-a"
+		}
+		if st == audit.Exception && rng.Intn(2) == 0 {
+			e.Reason = "emergency access"
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 100000)}
+	for _, p := range payloads {
+		for typ := byte(1); typ <= 5; typ++ {
+			b := AppendFrame(nil, typ, p)
+			gotTyp, gotPayload, n, err := DecodeFrame(b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if gotTyp != typ || n != len(b) || !bytes.Equal(gotPayload, p) {
+				t.Fatalf("round trip mismatch: typ %d/%d, n %d/%d", gotTyp, typ, n, len(b))
+			}
+		}
+	}
+}
+
+func TestFrameDecodeTruncatedAndCorrupt(t *testing.T) {
+	b := AppendFrame(nil, MsgBatch, []byte("payload bytes"))
+	for i := 0; i < len(b); i++ {
+		if _, _, _, err := DecodeFrame(b[:i]); err != io.ErrUnexpectedEOF {
+			t.Fatalf("truncated at %d: err = %v, want ErrUnexpectedEOF", i, err)
+		}
+	}
+	for i := 0; i < len(b); i++ {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0xFF
+		_, _, _, err := DecodeFrame(mut)
+		if err == nil {
+			t.Fatalf("flip at %d: corrupt frame decoded cleanly", i)
+		}
+	}
+	// A hostile length prefix is rejected before allocation.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}
+	if _, _, _, err := DecodeFrame(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("huge length: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// fragReader hands out at most frag bytes per Read to exercise the
+// FrameReader's refill and compaction paths.
+type fragReader struct {
+	b    []byte
+	frag int
+}
+
+func (f *fragReader) Read(p []byte) (int, error) {
+	if len(f.b) == 0 {
+		return 0, io.EOF
+	}
+	n := f.frag
+	if n > len(f.b) {
+		n = len(f.b)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, f.b[:n])
+	f.b = f.b[n:]
+	return n, nil
+}
+
+func TestFrameReaderFragmented(t *testing.T) {
+	var stream []byte
+	var want [][]byte
+	for i := 0; i < 40; i++ {
+		p := bytes.Repeat([]byte{byte(i)}, i*137)
+		want = append(want, p)
+		stream = AppendFrame(stream, MsgBatch, p)
+	}
+	for _, frag := range []int{1, 3, 64, 1 << 16} {
+		fr := NewFrameReader(&fragReader{b: stream, frag: frag})
+		for i := range want {
+			typ, payload, err := fr.Next()
+			if err != nil {
+				t.Fatalf("frag %d frame %d: %v", frag, i, err)
+			}
+			if typ != MsgBatch || !bytes.Equal(payload, want[i]) {
+				t.Fatalf("frag %d frame %d: payload mismatch", frag, i)
+			}
+		}
+		if _, _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("frag %d: end err = %v, want EOF", frag, err)
+		}
+	}
+	// A stream torn inside a frame is ErrUnexpectedEOF, not EOF.
+	fr := NewFrameReader(&fragReader{b: stream[:len(stream)-3], frag: 7})
+	var err error
+	for err == nil {
+		_, _, err = fr.Next()
+	}
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn stream: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	entries := genEntries(3, 1000)
+	enc := NewEncoder()
+	payload := enc.AppendBatch(nil, 17, entries)
+	dec := NewDecoder()
+	base, got, err := dec.DecodeBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 17 {
+		t.Fatalf("base = %d, want 17", base)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatalf("decoded entries differ from input")
+	}
+	// Re-encoding the decode is byte-identical: the codec has one
+	// canonical form.
+	again := NewEncoder().AppendBatch(nil, base, got)
+	if !bytes.Equal(again, payload) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+	// Encoder state fully resets between batches.
+	second := enc.AppendBatch(nil, 17, entries)
+	if !bytes.Equal(second, payload) {
+		t.Fatal("encoder reuse changed the encoding")
+	}
+}
+
+func TestBatchCodecEmptyAndHostile(t *testing.T) {
+	enc := NewEncoder()
+	payload := enc.AppendBatch(nil, 1, nil)
+	if base, got, err := NewDecoder().DecodeBatch(payload); err != nil || base != 1 || len(got) != 0 {
+		t.Fatalf("empty batch: base %d, %d entries, err %v", base, len(got), err)
+	}
+	hostile := [][]byte{
+		nil,
+		{0x01},                         // base only
+		{0x01, 0xFF, 0xFF, 0xFF, 0x7F}, // absurd count
+		append(enc.AppendBatch(nil, 1, genEntries(1, 3)), 0x00), // trailing byte
+	}
+	// A count that passes MaxBatchEntries but exceeds the remaining
+	// bytes must be rejected before allocation.
+	big := make([]byte, 0, 8)
+	big = append(big, 0x01)       // base
+	big = append(big, 0x80, 0x02) // count = 256, but no bytes follow
+	hostile = append(hostile, big)
+	for i, b := range hostile {
+		if _, _, err := NewDecoder().DecodeBatch(b); err == nil {
+			t.Fatalf("hostile %d decoded cleanly", i)
+		}
+	}
+	// Truncations of a valid batch never decode cleanly to the full
+	// count and never panic.
+	valid := enc.AppendBatch(nil, 5, genEntries(9, 50))
+	for i := 0; i < len(valid); i++ {
+		NewDecoder().DecodeBatch(valid[:i])
+	}
+}
+
+func TestHandshakeMessages(t *testing.T) {
+	h := hello{version: ProtocolVersion, site: "general-hospital"}
+	got, err := parseHello(appendHello(nil, h))
+	if err != nil || got != h {
+		t.Fatalf("hello round trip: %+v, %v", got, err)
+	}
+	a := helloAck{version: 1, resume: 1 << 40, window: 32}
+	gotAck, err := parseHelloAck(appendHelloAck(nil, a))
+	if err != nil || gotAck != a {
+		t.Fatalf("helloAck round trip: %+v, %v", gotAck, err)
+	}
+	seq, err := parseAck(appendAck(nil, 987654321))
+	if err != nil || seq != 987654321 {
+		t.Fatalf("ack round trip: %d, %v", seq, err)
+	}
+	for _, b := range [][]byte{nil, {0xFF}, append(appendHello(nil, h), 0x01)} {
+		if _, err := parseHello(b); err == nil {
+			t.Fatal("malformed hello parsed cleanly")
+		}
+	}
+	if _, err := parseHello(appendHello(nil, hello{version: 1, site: string(make([]byte, maxSiteName+1))})); err == nil {
+		t.Fatal("oversized site name parsed cleanly")
+	}
+}

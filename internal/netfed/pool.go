@@ -1,0 +1,99 @@
+package netfed
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// framePool recycles encoded-frame buffers: the streamer takes one per
+// batch, holds it until the ack (it doubles as the retransmit copy),
+// then returns it. Oversized buffers are dropped so one giant batch
+// cannot pin memory for the pool's lifetime.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+// maxPooledCap is the largest buffer the pool retains.
+const maxPooledCap = 1 << 20
+
+// getBuf returns an empty pooled buffer.
+func getBuf() []byte {
+	bp := framePool.Get().(*[]byte)
+	b := (*bp)[:0]
+	*bp = nil
+	framePool.Put(bp)
+	return b
+}
+
+// putBuf returns a buffer to the pool.
+func putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
+}
+
+// ErrPoolFull rejects a connection beyond the consolidator's cap.
+var ErrPoolFull = errors.New("netfed: connection pool full")
+
+// errPoolClosed rejects connections after Close.
+var errPoolClosed = errors.New("netfed: consolidator closed")
+
+// connPool is the consolidator's connection registry: admission
+// control against a cap and close-all on shutdown.
+type connPool struct {
+	mu     sync.Mutex // lock class netfed.connPool
+	conns  map[net.Conn]struct{}
+	max    int
+	closed bool
+}
+
+func newConnPool(max int) *connPool {
+	return &connPool{conns: make(map[net.Conn]struct{}), max: max}
+}
+
+// add admits a connection, enforcing the cap.
+func (p *connPool) add(c net.Conn) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errPoolClosed
+	}
+	if len(p.conns) >= p.max {
+		return ErrPoolFull
+	}
+	p.conns[c] = struct{}{}
+	return nil
+}
+
+// remove drops a connection from the registry.
+func (p *connPool) remove(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// len reports the live connection count.
+func (p *connPool) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// closeAll marks the pool closed and closes every live connection,
+// unblocking their handler goroutines. Closing under the mutex is
+// safe: net.Conn.Close never blocks on the handler, and handlers
+// that race remove() just wait for the map update.
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+}

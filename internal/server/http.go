@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Timeouts hardening every served listener against slow clients. A
+// header must arrive promptly, a request body within ReadTimeout, and
+// idle keep-alive connections are reaped — the slowloris trio. There
+// is deliberately no WriteTimeout: refinement and report responses
+// are computed under the handler and may legitimately take longer
+// than any fixed bound, and the read-side limits already bound the
+// connection count an attacker can pin.
+const (
+	ReadHeaderTimeout = 5 * time.Second
+	ReadTimeout       = 30 * time.Second
+	IdleTimeout       = 2 * time.Minute
+)
+
+// HTTPServer wraps h in an http.Server with the package's hardening
+// timeouts applied.
+func HTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
+// Serve serves h on ln until ctx is cancelled, then drains in-flight
+// requests for up to grace (minimum one second) before returning.
+// The listener is closed on return.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, grace time.Duration) error {
+	if grace < time.Second {
+		grace = time.Second
+	}
+	srv := HTTPServer(ln.Addr().String(), h)
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		<-errCh
+		return err
+	}
+	return <-errCh
+}
+
+// Run listens on addr and serves h as Serve does. onListen, when
+// non-nil, observes the bound address before serving starts.
+func Run(ctx context.Context, addr string, h http.Handler, grace time.Duration, onListen func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	return Serve(ctx, ln, h, grace)
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestHTTPServerHardened(t *testing.T) {
+	srv := HTTPServer(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout != ReadHeaderTimeout || srv.ReadTimeout != ReadTimeout ||
+		srv.IdleTimeout != IdleTimeout {
+		t.Fatalf("timeouts not applied: %+v", srv)
+	}
+}
+
+// TestServeDrainsInflight: cancellation must let an in-flight request
+// finish (graceful drain), not sever it.
+func TestServeDrainsInflight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, mux, 5*time.Second) }()
+
+	respCh := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			respCh <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		respCh <- string(b)
+	}()
+	<-entered
+	cancel() // shutdown begins while the request is in flight
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if got := <-respCh; got != "done" {
+		t.Fatalf("in-flight request got %q, want %q", got, "done")
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}
+
+// TestServeShutdownExpiresGrace: a handler that outlives the grace
+// period must not wedge shutdown — Serve force-closes and reports the
+// deadline error.
+func TestServeShutdownExpiresGrace(t *testing.T) {
+	stuck := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(stuck)
+		<-r.Context().Done() // hold until force-close
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, mux, time.Second) }()
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-stuck
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("Serve returned nil despite a request outliving the grace period")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve wedged on a stuck handler")
+	}
+}
+
+// TestServeSlowloris: a connection that sends no complete header
+// within ReadHeaderTimeout is closed by the server, not held open.
+// The test dials raw TCP, trickles a partial request line, and waits
+// for the read side to observe the server hanging up.
+func TestServeSlowloris(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out ReadHeaderTimeout")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, http.NewServeMux(), time.Second) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HT")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(ReadHeaderTimeout + 10*time.Second))
+	buf := make([]byte, 512)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			break // server hung up — the slowloris connection was reaped
+		}
+		_ = n
+	}
+	cancel()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+func TestRunBadAddress(t *testing.T) {
+	if err := Run(context.Background(), "256.256.256.256:99999", http.NewServeMux(), time.Second, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
